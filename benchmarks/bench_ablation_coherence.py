@@ -1,0 +1,16 @@
+"""Ablation A3 — coherence is minor; MPI ~independent of P (Section 5.2)."""
+
+from benchmarks.conftest import once
+from repro.experiments import exp_ablation
+
+
+def test_ablation_coherence(benchmark, save_report):
+    result = once(benchmark, exp_ablation.coherence_sweep)
+    save_report("ablation_coherence", exp_ablation.render_coherence(result))
+    mpi = {p: r.rates.l3_misses_per_instr
+           for p, r in result.by_processors.items()}
+    # MPI does not grow meaningfully with processor count.
+    assert mpi[4] < 1.5 * mpi[1]
+    # Coherence misses are a small share of all L3 misses.
+    assert result.by_processors[4].rates.coherence_miss_fraction < 0.15
+    assert result.by_processors[1].rates.coherence_miss_fraction == 0.0

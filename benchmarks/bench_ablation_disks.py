@@ -1,0 +1,16 @@
+"""Ablation A2 — disk bandwidth and scaled-region behavior (Section 6.3)."""
+
+from benchmarks.conftest import once
+from repro.experiments import exp_ablation
+
+
+def test_ablation_disks(benchmark, save_report):
+    result = once(benchmark, exp_ablation.disk_sweep)
+    save_report("ablation_disks", exp_ablation.render_disk_sweep(result))
+    counts = sorted(result.records)
+    latency = [result.records[c].system.read_latency_s for c in counts]
+    util = [result.records[c].system.cpu_utilization for c in counts]
+    # More disks -> lower read latency -> the same clients keep the CPUs
+    # busier (less stalled behind I/O).
+    assert latency[-1] < latency[0]
+    assert util[-1] >= util[0]

@@ -1,0 +1,16 @@
+"""Ablation A1 — L3 capacity moves the pivot (Section 6.3)."""
+
+from benchmarks.conftest import once
+from repro.experiments import exp_ablation
+
+
+def test_ablation_l3(benchmark, save_report):
+    result = once(benchmark, exp_ablation.l3_size_sweep)
+    save_report("ablation_l3", exp_ablation.render_l3_sweep(result))
+    sizes = sorted(result.analyses)
+    slopes = [result.analyses[s].fit.cached.slope for s in sizes]
+    # Bigger L3 -> flatter cached region.
+    assert slopes[0] > slopes[-1]
+    # The paper's conjecture: the pivot shifts right with L3 size.
+    pivots = [result.analyses[s].pivot_warehouses for s in sizes]
+    assert pivots[-1] > pivots[0] * 0.9  # allow fit noise; trend not inverted

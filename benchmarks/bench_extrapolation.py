@@ -1,0 +1,21 @@
+"""Section 6.2 — extrapolating scaled behavior from the pivot region."""
+
+from benchmarks.conftest import once
+from repro.experiments import exp_modeling
+
+
+def test_extrapolation(benchmark, save_report, xeon_sweep):
+    result = exp_modeling.analyze(xeon_sweep.by_processors)
+    reports = once(benchmark,
+                   lambda: exp_modeling.run_extrapolation(result,
+                                                          train_max=300.0))
+    save_report("extrapolation_6_2",
+                exp_modeling.render_extrapolation(reports))
+    for metric, metric_reports in reports.items():
+        by_model = {r.model: r for r in metric_reports}
+        pivot = by_model["pivot-scaled-line"].mean_relative_error
+        # The paper's method beats the cached-setup assumption by a wide
+        # margin and the single global line as well.
+        assert pivot < 0.5 * by_model["cached-setup"].mean_relative_error
+        assert pivot < 0.5 * by_model["single-line"].mean_relative_error
+        assert pivot < 0.20

@@ -1,0 +1,14 @@
+"""Figure 3 — CPU utilization split between OS and user code."""
+
+from benchmarks.conftest import once
+from repro.experiments import exp_system_figs
+
+
+def test_fig03(benchmark, save_report, xeon_sweep):
+    text = once(benchmark, lambda: exp_system_figs.render_fig03(xeon_sweep))
+    save_report("fig03_util_split", text)
+    os_share = xeon_sweep.column(4, lambda r: r.system.os_busy_share)
+    # OS share grows with W (paper: <10% to ~20%).
+    assert os_share[-1] > 1.5 * min(os_share)
+    assert os_share[0] < 0.15
+    assert os_share[-1] < 0.35

@@ -1,0 +1,20 @@
+"""Figures 4-6 — IPX and its user/OS split."""
+
+from benchmarks.conftest import once
+from repro.experiments import exp_system_figs
+
+
+def test_fig04_06(benchmark, save_report, xeon_sweep):
+    text = once(benchmark,
+                lambda: exp_system_figs.render_fig04_06(xeon_sweep))
+    save_report("fig04_06_ipx", text)
+    for p in sorted(xeon_sweep.by_processors):
+        user = xeon_sweep.column(p, lambda r: r.system.user_ipx)
+        os_ipx = xeon_sweep.column(p, lambda r: r.system.os_ipx)
+        total = xeon_sweep.column(p, lambda r: r.ipx)
+        # Figure 5: user IPX flat.
+        assert max(user) < 1.15 * min(user)
+        # Figure 6: OS IPX grows with W.
+        assert os_ipx[-1] > 2 * min(os_ipx)
+        # Figure 4: total grows, driven by the OS side.
+        assert total[-1] > total[0]

@@ -1,0 +1,21 @@
+"""Figure 7 — disk I/O per transaction (reads, log, page writes)."""
+
+from benchmarks.conftest import once
+from repro.experiments import exp_system_figs
+
+
+def test_fig07(benchmark, save_report, xeon_sweep):
+    text = once(benchmark, lambda: exp_system_figs.render_fig07(xeon_sweep))
+    save_report("fig07_disk_io", text)
+    reads = xeon_sweep.column(4, lambda r: r.system.io_read_kb_per_txn)
+    log = xeon_sweep.column(4, lambda r: r.system.log_bytes_per_txn / 1024)
+    writes = xeon_sweep.column(4, lambda r: r.system.data_writes_per_txn)
+    # Reads negligible while cached, then growing.
+    assert reads[0] < 0.5
+    assert reads[-1] > 20.0
+    # Log volume ~6 KB/txn, independent of W.
+    assert all(4.5 < kb < 7.5 for kb in log)
+    # Page-write traffic grows with W; cached write traffic is
+    # essentially log-only.
+    assert writes[0] * 8 < log[0]
+    assert writes[-1] > 2 * writes[0] + 0.5

@@ -1,0 +1,23 @@
+"""Figure 8 — context switches per transaction."""
+
+from benchmarks.conftest import once
+from repro.experiments import exp_system_figs
+
+
+def test_fig08(benchmark, save_report, xeon_sweep):
+    text = once(benchmark, lambda: exp_system_figs.render_fig08(xeon_sweep))
+    save_report("fig08_context_switches", text)
+    cs = xeon_sweep.column(4, lambda r: r.system.context_switches_per_txn)
+    warehouses = xeon_sweep.warehouses
+    # Contention spike at 10W: above the cached-region minimum.
+    minimum_index = cs.index(min(cs))
+    assert warehouses[minimum_index] in (25, 50, 100)
+    assert cs[0] > 1.25 * min(cs)
+    # Beyond the cached region, switches track disk reads (+1 commit).
+    reads = xeon_sweep.column(4, lambda r: r.system.reads_per_txn)
+    for c, r, w in zip(cs, reads, warehouses):
+        if w >= 150:
+            assert abs(c - (r + 1.0)) < 1.5
+    # Monotone growth in the scaled region.
+    scaled = [c for c, w in zip(cs, warehouses) if w >= 100]
+    assert scaled[-1] >= scaled[0]

@@ -1,0 +1,41 @@
+"""Figures 9-11 — CPI overall / user / OS, plus the EMON-noise companion."""
+
+from benchmarks.conftest import once
+from repro.experiments import exp_processor_figs
+
+
+def test_fig09_11(benchmark, save_report, xeon_sweep):
+    text = once(benchmark,
+                lambda: exp_processor_figs.render_fig09_11(xeon_sweep))
+    save_report("fig09_11_cpi", text)
+    for p in sorted(xeon_sweep.by_processors):
+        cpi = xeon_sweep.column(p, lambda r: r.cpi.cpi)
+        user = xeon_sweep.column(p, lambda r: r.cpi.user_cpi)
+        # Figure 9: CPI rises with W; steep early, leveling late.
+        assert cpi[-1] > 1.6 * cpi[0]
+        early_slope = (cpi[2] - cpi[0]) / 40.0
+        late_slope = (cpi[-1] - cpi[-3]) / 300.0
+        assert early_slope > 3 * late_slope
+        # Figure 10: user CPI correlates with overall CPI.
+        assert all(abs(u - c) / c < 0.25 for u, c in zip(user, cpi))
+    # CPI grows with processor count at every W.
+    for one, four in zip(xeon_sweep.by_processors[1],
+                         xeon_sweep.by_processors[4]):
+        assert four.cpi.cpi > one.cpi.cpi
+    # Figure 11: OS CPI declines from its peak as W grows (the decline
+    # is strongest at 1P, where kernel structures face no bus penalty).
+    os_cpi_4p = xeon_sweep.column(4, lambda r: r.cpi.os_cpi)
+    assert os_cpi_4p[-1] < 0.9 * max(os_cpi_4p)
+    os_cpi_1p = xeon_sweep.column(1, lambda r: r.cpi.os_cpi)
+    assert os_cpi_1p[-1] < 0.75 * max(os_cpi_1p)
+
+
+def test_fig11_sampling_noise(benchmark, save_report, xeon_sweep):
+    records = [xeon_sweep.by_processors[4][i] for i in (0, 3, 10)]
+    text = once(benchmark,
+                lambda: exp_processor_figs.render_os_cpi_noise(records))
+    save_report("fig11_emon_noise", text)
+    small_cv = exp_processor_figs.sampled_os_cpi_noise(records[0])[1]
+    large_cv = exp_processor_figs.sampled_os_cpi_noise(records[-1])[1]
+    # Sampling variance is visibly higher at the small configuration.
+    assert small_cv > large_cv

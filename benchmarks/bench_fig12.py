@@ -1,0 +1,25 @@
+"""Figure 12 — CPI breakdown by microarchitectural event."""
+
+from benchmarks.conftest import once
+from repro.experiments import exp_processor_figs
+
+
+def test_fig12(benchmark, save_report, xeon_sweep):
+    text = once(benchmark,
+                lambda: exp_processor_figs.render_fig12(xeon_sweep))
+    save_report("fig12_cpi_breakdown", text)
+    records = xeon_sweep.by_processors[4]
+    # L3 is the dominant component at scale (paper: ~60%).
+    at_scale = records[-1].cpi
+    assert at_scale.l3_share > 0.45
+    assert at_scale.breakdown.l3 == max(at_scale.breakdown.as_dict().values())
+    # Compute and branch components barely move across the sweep.
+    branch = [r.cpi.breakdown.branch for r in records]
+    assert max(branch) < 1.3 * min(branch)
+    assert all(r.cpi.breakdown.inst == 0.5 for r in records)
+    # The memory component grows with W...
+    l3 = [r.cpi.breakdown.l3 for r in records]
+    assert l3[-1] > 2 * l3[0]
+    # ...and with processors (bus-coupled L3 penalty).
+    one_p = xeon_sweep.by_processors[1][-1].cpi.breakdown.l3
+    assert l3[-1] > one_p

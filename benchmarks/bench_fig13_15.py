@@ -1,0 +1,34 @@
+"""Figures 13-15 — L3 MPI overall / user / OS."""
+
+from benchmarks.conftest import once
+from repro.experiments import exp_processor_figs
+
+
+def test_fig13_15(benchmark, save_report, xeon_sweep):
+    text = once(benchmark,
+                lambda: exp_processor_figs.render_fig13_15(xeon_sweep))
+    save_report("fig13_15_mpi", text)
+    warehouses = xeon_sweep.warehouses
+    for p in sorted(xeon_sweep.by_processors):
+        mpi = xeon_sweep.column(p, lambda r: r.rates.l3_misses_per_instr)
+        # Figure 13: sharp rise to ~100W, then near saturation.
+        knee_index = warehouses.index(150)
+        early_gain = mpi[knee_index] / mpi[0]
+        late_gain = mpi[-1] / mpi[knee_index]
+        assert early_gain > 1.6
+        assert late_gain < 1.4
+        # Figure 14: user MPI tracks overall.
+        user = xeon_sweep.column(p, lambda r: r.rates.user_l3_mpi)
+        assert user[-1] > 1.6 * user[0]
+    # MPI does not grow with processor count (coherence is minor).
+    for one, four in zip(xeon_sweep.by_processors[1],
+                         xeon_sweep.by_processors[4]):
+        ratio = (four.rates.l3_misses_per_instr
+                 / one.rates.l3_misses_per_instr)
+        assert ratio < 1.6
+    # Figure 15: OS MPI at scale is below its peak (kernel locality).
+    os_mpi = xeon_sweep.column(4, lambda r: r.rates.os_l3_mpi)
+    assert os_mpi[-1] < 0.8 * max(os_mpi)
+    # Miss-ratio saturation near the paper's 60%.
+    ratios = xeon_sweep.column(4, lambda r: r.rates.l3_miss_ratio)
+    assert 0.40 < max(ratios) < 0.75

@@ -1,0 +1,23 @@
+"""Figure 16 — bus-transaction time in the IOQ, and bus utilization."""
+
+from benchmarks.conftest import once
+from repro.experiments import exp_processor_figs
+
+
+def test_fig16(benchmark, save_report, xeon_sweep):
+    text = once(benchmark,
+                lambda: exp_processor_figs.render_fig16(xeon_sweep))
+    save_report("fig16_bus", text)
+    base = 102.0
+    ioq_1p = xeon_sweep.column(1, lambda r: r.cpi.bus_transaction_time)
+    ioq_4p = xeon_sweep.column(4, lambda r: r.cpi.bus_transaction_time)
+    # 1P stays near the unloaded baseline across all W.
+    assert all(t < base * 1.30 for t in ioq_1p)
+    # 4P rises dramatically with W.
+    assert ioq_4p[-1] > base * 1.5
+    assert ioq_4p[-1] > ioq_4p[0]
+    # Utilization bands: <30% at 2P, approaching ~45% at 4P (paper).
+    util_2p = xeon_sweep.column(2, lambda r: r.cpi.bus_utilization)
+    util_4p = xeon_sweep.column(4, lambda r: r.cpi.bus_utilization)
+    assert max(util_2p) < 0.40
+    assert 0.35 < max(util_4p) < 0.65

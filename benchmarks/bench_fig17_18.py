@@ -1,0 +1,20 @@
+"""Figures 17/18 — two-region linear approximation of CPI and MPI."""
+
+from benchmarks.conftest import once
+from repro.experiments import exp_modeling
+
+
+def test_fig17_18(benchmark, save_report, xeon_sweep):
+    result = once(benchmark,
+                  lambda: exp_modeling.analyze(xeon_sweep.by_processors))
+    save_report("fig17_18_piecewise",
+                exp_modeling.render_fig17_18(result, processors=4))
+    for analysis in (result.cpi_analyses[4], result.mpi_analyses[4]):
+        fit = analysis.fit
+        # Cached region much steeper than scaled region.
+        assert fit.cached.slope > 3 * fit.scaled.slope
+        # Both regions fit their points well.
+        assert fit.cached.r_squared > 0.8
+        assert fit.scaled.r_squared > 0.5
+        # The pivot falls inside the measured range.
+        assert 25 < analysis.pivot_warehouses < 400

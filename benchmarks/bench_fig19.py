@@ -1,0 +1,21 @@
+"""Figure 19 — CPI scaling on the Quad Itanium2 validation machine."""
+
+from benchmarks.conftest import once
+from repro.experiments import exp_modeling
+
+
+def test_fig19(benchmark, save_report):
+    result = once(benchmark, exp_modeling.run_fig19)
+    save_report("fig19_itanium2", exp_modeling.render_fig19(result))
+    xeon, itanium = result.xeon, result.itanium
+    # The 3MB L3 flattens the cached region relative to the Xeon.
+    assert itanium.fit.cached.slope < xeon.fit.cached.slope
+    # Itanium2 CPI is lower at every measured point.
+    for x_value, i_value in zip(xeon.values, itanium.values):
+        assert i_value < x_value
+    # The Xeon pivot stays in the paper's band; the Itanium2 pivot on
+    # this simulated testbed scales with L3 capacity (documented
+    # divergence from the paper's 118W — see EXPERIMENTS.md), so we only
+    # require it to exist within the extended grid.
+    assert 60 < xeon.pivot_warehouses < 250
+    assert 100 < itanium.pivot_warehouses < 1500

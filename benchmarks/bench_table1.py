@@ -1,0 +1,24 @@
+"""Table 1 — clients required for 90% CPU utilization."""
+
+from benchmarks.conftest import once
+from repro.experiments import exp_table1
+from repro.experiments.configs import RunnerSettings
+
+#: Saturation probes many client counts per cell; moderate fidelity
+#: keeps the search tractable while preserving the utilization shape.
+SEARCH_SETTINGS = RunnerSettings(warmup_txns=300, measure_txns=1500,
+                                 trace_txns=600, trace_warmup=150,
+                                 fixed_point_rounds=2)
+
+
+def test_table1(benchmark, save_report):
+    result = once(benchmark, lambda: exp_table1.run(settings=SEARCH_SETTINGS))
+    save_report("table1_clients", exp_table1.render(result))
+    # Shape assertions mirroring the paper's observations:
+    # clients grow slowly at small W / few processors...
+    assert result.clients(1, 10) <= 8
+    # ...and fast once the working set spills out of the SGA.
+    assert result.clients(4, 800) > 2 * result.clients(4, 100)
+    # More processors need more clients to stay busy.
+    for w in (100, 500, 800):
+        assert result.clients(4, w) > result.clients(1, w)

@@ -1,0 +1,19 @@
+"""Tables 2-4 — measurement events, stall costs, attribution formulas."""
+
+from benchmarks.conftest import once
+from repro.experiments import exp_tables234
+from repro.hw.machine import XEON_MP_QUAD
+
+
+def test_tables234(benchmark, save_report):
+    text = once(benchmark, exp_tables234.render_all)
+    save_report("tables234_definitions", text)
+    # Table 3's costs are the paper's, verbatim.
+    costs = XEON_MP_QUAD.costs
+    assert (costs.instruction, costs.branch_mispredict, costs.tlb_miss,
+            costs.tc_miss, costs.l2_miss, costs.l3_miss) == \
+        (0.5, 20, 20, 20, 16, 300)
+    assert XEON_MP_QUAD.bus.base_transaction_cycles == 102
+    for token in ("instr_retired", "BSU_cache_reference", "IOQ_allocation",
+                  "L2 Miss - L3 Miss", "Bus-Transaction Time"):
+        assert token in text

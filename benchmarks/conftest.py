@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table or figure) from
+the same full-fidelity sweep; the sweep itself is produced once per
+session (and persisted in ``results/cache``, so repeated benchmark runs
+are fast).  Rendered artifacts are written to ``results/<name>.txt`` —
+these are the rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.configs import DEFAULT_SETTINGS
+from repro.experiments.exp_system_figs import SystemSweep, run as run_sweep
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+
+@pytest.fixture(scope="session")
+def xeon_sweep() -> SystemSweep:
+    """The full (W x P) Xeon sweep every figure reads."""
+    return run_sweep(settings=DEFAULT_SETTINGS)
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Writer for rendered artifacts: save_report(name, text)."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _save(name: str, text: str) -> str:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to {path}]")
+        return text
+
+    return _save
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

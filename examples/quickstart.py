@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: run one OLTP configuration end-to-end.
+
+Builds the simulated testbed (4-way Xeon MP + ODB database + clients),
+runs a 100-warehouse configuration through the coupled system/
+microarchitecture pipeline, and prints the quantities the paper's
+analysis revolves around: the iron-law terms (P, F, IPX, CPI) and the
+measured throughput.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.ironlaw import DatabaseIronLaw
+from repro.experiments.configs import RunnerSettings
+from repro.experiments.runner import run_configuration
+from repro.hw.machine import XEON_MP_QUAD
+
+
+def main() -> None:
+    settings = RunnerSettings(warmup_txns=300, measure_txns=1500,
+                              trace_txns=600, trace_warmup=150,
+                              fixed_point_rounds=2)
+    print("Running W=100, P=4 on the simulated Quad Xeon MP...")
+    result = run_configuration(warehouses=100, processors=4,
+                               settings=settings, use_cache=False)
+    system = result.system
+    print(f"\nConfiguration: {result.warehouses} warehouses, "
+          f"{result.clients} clients, {result.processors} processors")
+    print(f"CPU utilization:     {system.cpu_utilization:.0%} "
+          f"(user {system.user_busy_share:.0%} / "
+          f"OS {system.os_busy_share:.0%})")
+    print(f"IPX:                 {system.ipx / 1e6:.2f}M instructions/txn "
+          f"(user {system.user_ipx / 1e6:.2f}M, OS {system.os_ipx / 1e6:.2f}M)")
+    print(f"CPI:                 {result.cpi.cpi:.2f} "
+          f"(L3-miss share {result.cpi.l3_share:.0%})")
+    print(f"Disk reads/txn:      {system.reads_per_txn:.2f}")
+    print(f"Context switches/txn: {system.context_switches_per_txn:.2f}")
+    print(f"Redo log:            {system.log_bytes_per_txn / 1024:.1f} KB/txn")
+
+    law = DatabaseIronLaw(result.processors, XEON_MP_QUAD.frequency_hz,
+                          system.ipx, result.effective_cpi)
+    print("\nIron law of database performance:  TPS = P*F / (IPX*CPI)")
+    print(f"  ideal (100% utilization): {law.tps:7.0f} TPS")
+    print(f"  x measured utilization:   {law.tps * system.cpu_utilization:7.0f} TPS")
+    print(f"  measured by the DES:      {system.tps:7.0f} TPS")
+
+
+if __name__ == "__main__":
+    main()

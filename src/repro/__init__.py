@@ -1,0 +1,26 @@
+"""Reproduction of *Scaling and Characterizing Database Workloads:
+Bridging the Gap between Research and Practice* (MICRO 2003).
+
+The package builds the paper's testbed as a simulator — an ODB-style
+OLTP workload on a database engine, OS, and SMP machine model — and
+implements the paper's analysis on top: the iron law of database
+performance, the Tables 2-4 CPI decomposition, and the piecewise-linear
+pivot-point methodology.
+
+Most users want one of:
+
+>>> from repro.experiments.runner import run_configuration
+>>> result = run_configuration(warehouses=200, processors=4)  # doctest: +SKIP
+
+or the command line: ``python -m repro run -w 200 -p 4``.
+
+Subpackages: :mod:`repro.sim` (DES kernel), :mod:`repro.hw` (machine),
+:mod:`repro.osmodel` (OS), :mod:`repro.db` (database engine),
+:mod:`repro.odb` (workload), :mod:`repro.emon` (counters),
+:mod:`repro.core` (the paper's analytics), :mod:`repro.experiments`
+(per-figure/table harness).  See DESIGN.md for the full inventory.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,241 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run -w 200 -p 4          # one configuration
+    python -m repro sweep -p 4 --chart       # warehouse sweep (+ ASCII plot)
+    python -m repro pivot -p 4 --metric cpi  # two-region fit and pivot
+    python -m repro table1                   # the 90%-utilization search
+    python -m repro variability -w 100 -p 4  # multi-seed error bars
+    python -m repro clear-cache              # drop cached sweep results
+
+``--fast`` trades fidelity for speed on any simulating command (the
+same settings the test suite uses).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.pivot import pivot_point, representative_configuration
+from repro.experiments.charts import render_chart
+from repro.experiments.configs import (
+    DEFAULT_SETTINGS,
+    FAST_SETTINGS,
+    FULL_WAREHOUSE_GRID,
+    RunnerSettings,
+)
+from repro.experiments.records import ResultCache
+from repro.experiments.report import render_series, render_table
+from repro.experiments.runner import run_configuration, sweep
+from repro.hw.machine import XEON_MP_QUAD, machine_by_name
+
+
+def _settings(args) -> RunnerSettings:
+    return FAST_SETTINGS if args.fast else DEFAULT_SETTINGS
+
+
+def _machine(args):
+    return machine_by_name(args.machine)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--machine", default=XEON_MP_QUAD.name,
+                        help="machine preset (xeon-mp-quad, itanium2-quad)")
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced-fidelity settings (test speed)")
+
+
+def cmd_run(args) -> int:
+    result = run_configuration(args.warehouses, args.processors,
+                               clients=args.clients, machine=_machine(args),
+                               settings=_settings(args))
+    system = result.system
+    rows = [
+        ["TPS (measured / iron law)",
+         f"{system.tps:.0f} / {result.tps_ironlaw:.0f}"],
+        ["CPU utilization", f"{system.cpu_utilization:.1%}"],
+        ["user / OS busy split",
+         f"{system.user_busy_share:.0%} / {system.os_busy_share:.0%}"],
+        ["IPX (user + OS)",
+         f"{system.user_ipx / 1e6:.2f}M + {system.os_ipx / 1e6:.2f}M"],
+        ["CPI (L3 share)",
+         f"{result.cpi.cpi:.2f} ({result.cpi.l3_share:.0%})"],
+        ["L3 MPI (per 1000 instr)",
+         f"{result.rates.l3_misses_per_instr * 1000:.2f}"],
+        ["bus utilization / IOQ cycles",
+         f"{result.cpi.bus_utilization:.0%} / "
+         f"{result.cpi.bus_transaction_time:.0f}"],
+        ["disk reads / writes per txn",
+         f"{system.reads_per_txn:.2f} / {system.data_writes_per_txn:.2f}"],
+        ["context switches per txn",
+         f"{system.context_switches_per_txn:.2f}"],
+        ["redo per txn", f"{system.log_bytes_per_txn / 1024:.1f} KB"],
+    ]
+    print(render_table(
+        f"{result.machine}: W={result.warehouses} C={result.clients} "
+        f"P={result.processors}", ["metric", "value"], rows))
+    return 0
+
+
+def _parse_grid(text: Optional[str]) -> tuple[int, ...]:
+    if not text:
+        return FULL_WAREHOUSE_GRID
+    try:
+        grid = tuple(sorted({int(part) for part in text.split(",")}))
+    except ValueError:
+        raise SystemExit(f"bad --grid value: {text!r} (want e.g. 10,100,800)")
+    if not grid or grid[0] <= 0:
+        raise SystemExit("--grid needs positive warehouse counts")
+    return grid
+
+
+def cmd_sweep(args) -> int:
+    grid = _parse_grid(args.grid)
+    records = sweep(grid, args.processors, machine=_machine(args),
+                    settings=_settings(args))
+    xs = [r.warehouses for r in records]
+    series = {
+        "TPS": [r.tps for r in records],
+        "CPI": [r.cpi.cpi for r in records],
+        "L3 MPI (/1000)": [r.rates.l3_misses_per_instr * 1000
+                           for r in records],
+        "reads/txn": [r.system.reads_per_txn for r in records],
+        "cs/txn": [r.system.context_switches_per_txn for r in records],
+        "util": [r.system.cpu_utilization for r in records],
+    }
+    print(render_series(
+        f"Sweep at {args.processors}P on {args.machine}",
+        "Warehouses", xs, series))
+    if args.chart:
+        print()
+        print(render_chart(f"CPI vs warehouses ({args.processors}P)",
+                           xs, {"CPI": series["CPI"]},
+                           y_label="CPI", x_label="warehouses"))
+    return 0
+
+
+def cmd_pivot(args) -> int:
+    grid = _parse_grid(args.grid)
+    records = sweep(grid, args.processors, machine=_machine(args),
+                    settings=_settings(args))
+    xs = [r.warehouses for r in records]
+    if args.metric == "cpi":
+        ys = [r.cpi.cpi for r in records]
+    else:
+        ys = [r.rates.l3_misses_per_instr for r in records]
+    analysis = pivot_point(xs, ys, metric=args.metric,
+                           processors=args.processors)
+    fit = analysis.fit
+    print(render_table(
+        f"Two-region fit of {args.metric.upper()} at {args.processors}P",
+        ["region", "slope", "intercept", "r^2"],
+        [["cached", f"{fit.cached.slope:.3e}", f"{fit.cached.intercept:.4f}",
+          f"{fit.cached.r_squared:.3f}"],
+         ["scaled", f"{fit.scaled.slope:.3e}", f"{fit.scaled.intercept:.4f}",
+          f"{fit.scaled.r_squared:.3f}"]],
+        note=(f"pivot at {analysis.pivot_warehouses:.0f} warehouses; "
+              f"minimal representative configuration: "
+              f"{representative_configuration(analysis)}W"
+              if analysis.has_pivot else "segments are parallel: no pivot")))
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.experiments import exp_table1
+
+    result = exp_table1.run(machine=_machine(args), settings=_settings(args))
+    print(exp_table1.render(result))
+    return 0
+
+
+def cmd_variability(args) -> int:
+    from repro.experiments.variability import measure_variability
+
+    report = measure_variability(args.warehouses, args.processors,
+                                 seeds=tuple(range(1, args.seeds + 1)),
+                                 machine=_machine(args),
+                                 settings=_settings(args))
+    rows = []
+    for name in sorted(report.metrics):
+        metric = report.metrics[name]
+        low, high = metric.confidence_interval(0.95)
+        rows.append([name, f"{metric.mean:.4g}", f"{metric.stdev:.3g}",
+                     f"{metric.coefficient_of_variation:.2%}",
+                     f"[{low:.4g}, {high:.4g}]"])
+    worst, cv = report.worst_cv()
+    print(render_table(
+        f"Variability across {len(report.seeds)} seeds: "
+        f"W={args.warehouses} P={args.processors}",
+        ["metric", "mean", "stdev", "CV", "95% CI"],
+        rows, note=f"noisiest metric: {worst} (CV {cv:.1%})"))
+    return 0
+
+
+def cmd_clear_cache(_args) -> int:
+    removed = ResultCache().clear()
+    print(f"removed {removed} cached result(s)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Scaling and Characterizing Database "
+                    "Workloads' (MICRO 2003)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="run one configuration")
+    run_parser.add_argument("-w", "--warehouses", type=int, required=True)
+    run_parser.add_argument("-p", "--processors", type=int, default=4)
+    run_parser.add_argument("-c", "--clients", type=int, default=None,
+                            help="default: the Table 1 value for (W, P)")
+    _add_common(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    sweep_parser = commands.add_parser("sweep", help="warehouse sweep")
+    sweep_parser.add_argument("-p", "--processors", type=int, default=4)
+    sweep_parser.add_argument("--grid", default=None,
+                              help="comma-separated warehouse counts")
+    sweep_parser.add_argument("--chart", action="store_true",
+                              help="also draw an ASCII CPI chart")
+    _add_common(sweep_parser)
+    sweep_parser.set_defaults(func=cmd_sweep)
+
+    pivot_parser = commands.add_parser("pivot",
+                                       help="two-region fit and pivot point")
+    pivot_parser.add_argument("-p", "--processors", type=int, default=4)
+    pivot_parser.add_argument("--metric", choices=("cpi", "mpi"),
+                              default="cpi")
+    pivot_parser.add_argument("--grid", default=None)
+    _add_common(pivot_parser)
+    pivot_parser.set_defaults(func=cmd_pivot)
+
+    table1_parser = commands.add_parser(
+        "table1", help="clients for 90%% CPU utilization")
+    _add_common(table1_parser)
+    table1_parser.set_defaults(func=cmd_table1)
+
+    var_parser = commands.add_parser(
+        "variability", help="multi-seed measurement variability")
+    var_parser.add_argument("-w", "--warehouses", type=int, required=True)
+    var_parser.add_argument("-p", "--processors", type=int, default=4)
+    var_parser.add_argument("--seeds", type=int, default=5)
+    _add_common(var_parser)
+    var_parser.set_defaults(func=cmd_variability)
+
+    cache_parser = commands.add_parser("clear-cache",
+                                       help="drop cached sweep results")
+    cache_parser.set_defaults(func=cmd_clear_cache)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Baseline models the piecewise-pivot approach is compared against.
+
+Two alternatives a researcher might use instead of the paper's method:
+
+- :func:`single_line_model` — one global least-squares line over all
+  configurations (ignores the cached/scaled regime change);
+- :func:`cached_setup_model` — take the smallest (cached) configuration's
+  value as representative of every configuration.  This is the implicit
+  assumption behind simulating only cached setups, which the paper's
+  whole argument targets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.regression import fit_line
+
+
+def single_line_model(warehouses: Sequence[float],
+                      values: Sequence[float]) -> Callable[[float], float]:
+    """One least-squares line over the full training range."""
+    fit = fit_line(list(warehouses), list(values))
+    return fit.predict
+
+
+def cached_setup_model(warehouses: Sequence[float],
+                       values: Sequence[float]) -> Callable[[float], float]:
+    """The cached-setup assumption: the smallest config speaks for all."""
+    if not warehouses or len(warehouses) != len(values):
+        raise ValueError("need matching, non-empty series")
+    smallest = min(zip(warehouses, values))
+    constant = smallest[1]
+    return lambda _x: constant

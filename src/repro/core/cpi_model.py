@@ -1,0 +1,160 @@
+"""CPI decomposition (Tables 2-4) and the bus-coupled fixed point.
+
+Table 4's attribution, reproduced exactly:
+
+====================  ====================================================
+Component             Contribution
+====================  ====================================================
+Inst                  Instructions * 0.5
+Branch                Branch Mispredictions * 20
+TLB                   TLB Miss * 20
+TC                    TC Miss * 20
+L2                    (L2 Miss - L3 Miss) * 16
+L3                    L3 Miss * (300 + Bus-Transaction Time
+                      - Bus-Transaction Time for 1P)
+Other                 Clock Cycles / Instructions - sum(computed)
+====================  ====================================================
+
+The L3 term couples CPI to bus load: more processors or misses raise bus
+utilization, which lengthens the bus-transaction time, which raises CPI,
+which lowers the per-cycle miss rate — a fixed point solved by
+:func:`solve_cpi` (it converges in a handful of iterations because the
+mapping is a contraction at sane utilizations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.bus import BusModel
+from repro.hw.machine import MachineConfig
+from repro.hw.trace import MicroarchRates
+
+
+@dataclass(frozen=True)
+class CpiBreakdown:
+    """CPI split by microarchitectural component (Figure 12)."""
+
+    inst: float
+    branch: float
+    tlb: float
+    tc: float
+    l2: float
+    l3: float
+    other: float
+
+    @property
+    def total(self) -> float:
+        return (self.inst + self.branch + self.tlb + self.tc + self.l2
+                + self.l3 + self.other)
+
+    @property
+    def computed(self) -> float:
+        """Sum of the attributed components (everything but Other)."""
+        return self.total - self.other
+
+    def fraction(self, component: str) -> float:
+        """Share of one component in the total CPI."""
+        value = getattr(self, component)
+        return value / self.total if self.total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "Inst": self.inst,
+            "Branch": self.branch,
+            "TLB": self.tlb,
+            "TC": self.tc,
+            "L2": self.l2,
+            "L3": self.l3,
+            "Other": self.other,
+        }
+
+
+def compute_breakdown(rates: MicroarchRates, machine: MachineConfig,
+                      bus_transaction_time: float,
+                      other_cpi: float | None = None) -> CpiBreakdown:
+    """Apply Table 4 to a set of event rates.
+
+    ``bus_transaction_time`` is the loaded IOQ time; the 1P reference is
+    the machine's unloaded ``base_transaction_cycles`` (102 measured on
+    the paper's 1P Xeon, Table 3).
+
+    On a real machine ``Other`` is the residual between measured and
+    computed CPI; in this model it is the machine's ``other_cpi``
+    constant — the core's intrinsic stall floor (dependencies, store
+    buffers) that the six counted events do not cover.
+    """
+    if bus_transaction_time < machine.bus.base_transaction_cycles:
+        raise ValueError("loaded bus time cannot be below the 1P baseline")
+    costs = machine.costs
+    l3_penalty = (costs.l3_miss + bus_transaction_time
+                  - machine.bus.base_transaction_cycles)
+    return CpiBreakdown(
+        inst=costs.instruction,
+        branch=rates.mispredicts_per_instr * costs.branch_mispredict,
+        tlb=rates.tlb_misses_per_instr * costs.tlb_miss,
+        tc=rates.tc_misses_per_instr * costs.tc_miss,
+        l2=(rates.l2_misses_per_instr - rates.l3_misses_per_instr) * costs.l2_miss,
+        l3=rates.l3_misses_per_instr * l3_penalty,
+        other=machine.other_cpi if other_cpi is None else other_cpi,
+    )
+
+
+@dataclass(frozen=True)
+class CpiSolution:
+    """Converged operating point of the CPI <-> bus fixed point."""
+
+    breakdown: CpiBreakdown
+    cpi: float
+    bus_utilization: float
+    bus_transaction_time: float
+    iterations: int
+    #: Space-split CPIs for Figures 10/11 (same non-memory components,
+    #: space-specific L3 rates).
+    user_cpi: float
+    os_cpi: float
+
+    @property
+    def l3_share(self) -> float:
+        """The paper's headline ~60% (Section 5.1)."""
+        return self.breakdown.fraction("l3")
+
+
+def solve_cpi(rates: MicroarchRates, machine: MachineConfig, processors: int,
+              tolerance: float = 1e-9, max_iterations: int = 100) -> CpiSolution:
+    """Solve the CPI / bus-utilization fixed point for one configuration."""
+    if processors <= 0:
+        raise ValueError("processors must be positive")
+    bus = BusModel(machine.bus)
+    cpi = 2.0  # any positive start converges
+    utilization = 0.0
+    bus_time = machine.bus.base_transaction_cycles
+    for iteration in range(1, max_iterations + 1):
+        load = bus.load_for(rates.l3_misses_per_instr, cpi, processors,
+                            rates.l3_writeback_ratio)
+        utilization = load.utilization
+        bus_time = bus.transaction_time(utilization)
+        breakdown = compute_breakdown(rates, machine, bus_time)
+        new_cpi = breakdown.total
+        if abs(new_cpi - cpi) < tolerance:
+            cpi = new_cpi
+            break
+        cpi = new_cpi
+    else:
+        iteration = max_iterations
+    breakdown = compute_breakdown(rates, machine, bus_time)
+
+    def space_cpi(l3_mpi: float) -> float:
+        penalty = (machine.costs.l3_miss + bus_time
+                   - machine.bus.base_transaction_cycles)
+        return breakdown.total - breakdown.l3 + l3_mpi * penalty
+
+    return CpiSolution(
+        breakdown=breakdown,
+        cpi=breakdown.total,
+        bus_utilization=utilization,
+        bus_transaction_time=bus_time,
+        iterations=iteration,
+        user_cpi=space_cpi(rates.user_l3_mpi),
+        os_cpi=space_cpi(rates.os_l3_mpi),
+    )

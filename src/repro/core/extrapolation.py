@@ -1,0 +1,99 @@
+"""Extrapolating scaled-setup behavior from small configurations.
+
+Section 6.2's claim: "simulation results based on the 200W setup may be
+used to accurately project the behaviors of fully scaled setups, and
+there is no need to simulate larger setups."  This module tests that
+claim quantitatively: train a model on configurations up to a cutoff,
+predict the metric at larger configurations, and report errors — for the
+paper's piecewise/pivot method and for the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.baselines import cached_setup_model, single_line_model
+from repro.core.regression import fit_line, fit_two_segments
+
+
+@dataclass(frozen=True)
+class ExtrapolationReport:
+    """Prediction errors of one model over held-out large configurations."""
+
+    model: str
+    train_max_warehouses: float
+    test_warehouses: tuple[float, ...]
+    predictions: tuple[float, ...]
+    actuals: tuple[float, ...]
+
+    @property
+    def relative_errors(self) -> tuple[float, ...]:
+        return tuple(abs(p - a) / abs(a) if a else float("inf")
+                     for p, a in zip(self.predictions, self.actuals))
+
+    @property
+    def max_relative_error(self) -> float:
+        return max(self.relative_errors, default=0.0)
+
+    @property
+    def mean_relative_error(self) -> float:
+        errors = self.relative_errors
+        return sum(errors) / len(errors) if errors else 0.0
+
+
+def _pivot_model(train_x: Sequence[float],
+                 train_y: Sequence[float]) -> Callable[[float], float]:
+    """The paper's method: scaled-region line of a two-segment fit.
+
+    When the training range is too small to resolve two regions, fall
+    back to the upper half's line (still "fit beyond the knee" in
+    spirit).
+    """
+    try:
+        fit = fit_two_segments(train_x, train_y)
+        return fit.scaled.predict
+    except ValueError:
+        half = max(2, len(train_x) // 2)
+        return fit_line(train_x[-half:], train_y[-half:]).predict
+
+
+MODELS: dict[str, Callable[[Sequence[float], Sequence[float]],
+                           Callable[[float], float]]] = {
+    "pivot-scaled-line": _pivot_model,
+    "single-line": single_line_model,
+    "cached-setup": cached_setup_model,
+}
+
+
+def evaluate_extrapolation(warehouses: Sequence[float],
+                           values: Sequence[float],
+                           train_max_warehouses: float,
+                           models: Sequence[str] = tuple(MODELS),
+                           ) -> list[ExtrapolationReport]:
+    """Train each model below the cutoff, test above it."""
+    pairs = sorted(zip(warehouses, values))
+    train = [(x, y) for x, y in pairs if x <= train_max_warehouses]
+    test = [(x, y) for x, y in pairs if x > train_max_warehouses]
+    if len(train) < 4:
+        raise ValueError("need at least 4 training configurations")
+    if not test:
+        raise ValueError("no configurations above the training cutoff")
+    train_x = [x for x, _ in train]
+    train_y = [y for _, y in train]
+    reports = []
+    for name in models:
+        try:
+            builder = MODELS[name]
+        except KeyError:
+            known = ", ".join(MODELS)
+            raise KeyError(f"unknown model {name!r}; known: {known}")
+        predict = builder(train_x, train_y)
+        reports.append(ExtrapolationReport(
+            model=name,
+            train_max_warehouses=train_max_warehouses,
+            test_warehouses=tuple(x for x, _ in test),
+            predictions=tuple(predict(x) for x, _ in test),
+            actuals=tuple(y for _, y in test),
+        ))
+    return reports

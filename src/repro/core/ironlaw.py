@@ -1,0 +1,82 @@
+"""The iron law of database performance (Section 3.4).
+
+The classic iron law of processor performance, ``S = F / (PL * CPI)``,
+adapted to transaction throughput: with path length measured as
+instructions per transaction (IPX),
+
+    ``TPS_cpu = F / (IPX * CPI)``
+
+and for a multiprocessor,
+
+    ``TPS_mp = (P * F) / (IPX * CPI)``.
+
+Database performance improves with more or faster processors, shorter
+transactions (IPX), or fewer cycles per instruction (CPI).  The CPI here
+is the average per-processor CPI including all inter-processor
+communication effects, which is exactly what the bus-coupled model in
+:mod:`repro.core.cpi_model` produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def tps(processors: int, frequency_hz: float, ipx: float, cpi: float) -> float:
+    """Multiprocessor transaction throughput by the iron law."""
+    if processors <= 0:
+        raise ValueError("processors must be positive")
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    if ipx <= 0:
+        raise ValueError("IPX must be positive")
+    if cpi <= 0:
+        raise ValueError("CPI must be positive")
+    return (processors * frequency_hz) / (ipx * cpi)
+
+
+@dataclass(frozen=True)
+class DatabaseIronLaw:
+    """One operating point of the iron law; solves for any missing term."""
+
+    processors: int
+    frequency_hz: float
+    ipx: float
+    cpi: float
+
+    def __post_init__(self) -> None:
+        tps(self.processors, self.frequency_hz, self.ipx, self.cpi)  # validates
+
+    @property
+    def tps(self) -> float:
+        return tps(self.processors, self.frequency_hz, self.ipx, self.cpi)
+
+    @property
+    def tps_per_cpu(self) -> float:
+        return self.tps / self.processors
+
+    @property
+    def cycles_per_transaction(self) -> float:
+        return self.ipx * self.cpi
+
+    @property
+    def seconds_per_transaction(self) -> float:
+        """CPU-seconds of one processor consumed per transaction."""
+        return self.cycles_per_transaction / self.frequency_hz
+
+    @classmethod
+    def from_measured_tps(cls, processors: int, frequency_hz: float,
+                          ipx: float, measured_tps: float) -> "DatabaseIronLaw":
+        """Infer the effective CPI from a measured throughput.
+
+        This is how the paper's framework is used against a real system:
+        TPS, IPX, and F are observable; CPI falls out of the law.
+        """
+        if measured_tps <= 0:
+            raise ValueError("measured TPS must be positive")
+        cpi = (processors * frequency_hz) / (ipx * measured_tps)
+        return cls(processors, frequency_hz, ipx, cpi)
+
+    def speedup_from(self, other: "DatabaseIronLaw") -> float:
+        """Throughput ratio self/other."""
+        return self.tps / other.tps

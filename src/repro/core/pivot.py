@@ -1,0 +1,75 @@
+"""Pivot-point analysis (Sections 6.1-6.3, Table 5).
+
+The pivot point — the intersection of the cached-region and
+scaled-region lines — is "a lower bound to represent an OLTP workload
+with sufficient execution behavior to look like a scaled setup".  A
+configuration larger than the pivot can stand in for arbitrarily larger
+setups, whose behavior is then extrapolated along the scaled-region
+line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.regression import PiecewiseFit, fit_two_segments
+
+
+@dataclass(frozen=True)
+class PivotAnalysis:
+    """A fitted metric trend and its pivot."""
+
+    metric: str
+    processors: int
+    fit: PiecewiseFit
+    warehouses: tuple[float, ...]
+    values: tuple[float, ...]
+
+    @property
+    def pivot_warehouses(self) -> float:
+        """Table 5's quantity: the pivot in warehouses."""
+        if self.fit.pivot_x is None:
+            raise ValueError("segments are parallel; no pivot exists")
+        return self.fit.pivot_x
+
+    @property
+    def has_pivot(self) -> bool:
+        return self.fit.pivot_x is not None
+
+    def cached_region(self) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        split = self.fit.split_index
+        return self.warehouses[:split], self.values[:split]
+
+    def scaled_region(self) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        split = self.fit.split_index
+        return self.warehouses[split:], self.values[split:]
+
+
+def pivot_point(warehouses: Sequence[float], values: Sequence[float],
+                metric: str = "cpi", processors: int = 4) -> PivotAnalysis:
+    """Fit two regions to a metric-vs-warehouses trend and find the pivot."""
+    ordered = sorted(zip(warehouses, values))
+    xs = tuple(x for x, _ in ordered)
+    ys = tuple(y for _, y in ordered)
+    fit = fit_two_segments(xs, ys)
+    return PivotAnalysis(metric=metric, processors=processors, fit=fit,
+                         warehouses=xs, values=ys)
+
+
+def representative_configuration(analysis: PivotAnalysis,
+                                 candidates: Sequence[int] | None = None) -> int:
+    """The minimal configuration that exhibits scaled-setup behavior.
+
+    The smallest candidate strictly above the pivot (Section 6.2's 200W
+    example).  Candidates default to the measured warehouse grid.
+    """
+    pivot = analysis.pivot_warehouses
+    pool = sorted(candidates if candidates is not None else
+                  (int(w) for w in analysis.warehouses))
+    for candidate in pool:
+        if candidate > pivot:
+            return candidate
+    raise ValueError(
+        f"no candidate above the pivot ({pivot:.0f} warehouses); "
+        f"largest offered was {pool[-1]}")

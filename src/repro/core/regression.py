@@ -1,0 +1,122 @@
+"""Least-squares and two-segment piecewise-linear fitting (Section 6.1).
+
+The paper approximates the CPI and MPI trends with two linear regions —
+*cached* and *scaled* — fitted by linear least squares, with the region
+boundary chosen where the combined fit error is minimal.  The
+intersection of the two lines is the *pivot point*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A least-squares line ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+    def residual_sse(self, xs: Sequence[float], ys: Sequence[float]) -> float:
+        return sum((y - self.predict(x)) ** 2 for x, y in zip(xs, ys))
+
+
+def fit_line(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares over the given points."""
+    n = len(xs)
+    if n != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if n < 2:
+        raise ValueError("need at least two points for a line")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("xs are all identical; the line is vertical")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    syy = sum((y - mean_y) ** 2 for y in ys)
+    if syy == 0:
+        r_squared = 1.0
+    else:
+        sse = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+        r_squared = max(0.0, 1.0 - sse / syy)
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared, n=n)
+
+
+@dataclass(frozen=True)
+class PiecewiseFit:
+    """Two linear regions with their intersection (the pivot point)."""
+
+    cached: LinearFit
+    scaled: LinearFit
+    #: Index of the first point assigned to the scaled region.
+    split_index: int
+    #: x/y of the intersection of the two lines; None when parallel.
+    pivot_x: float | None
+    pivot_y: float | None
+    sse: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the piecewise model (regions meet at the pivot)."""
+        boundary = self.pivot_x if self.pivot_x is not None else math.inf
+        if x < boundary:
+            return self.cached.predict(x)
+        return self.scaled.predict(x)
+
+
+def _intersection(a: LinearFit, b: LinearFit) -> tuple[float, float] | None:
+    if math.isclose(a.slope, b.slope, rel_tol=1e-12, abs_tol=1e-15):
+        return None
+    x = (b.intercept - a.intercept) / (a.slope - b.slope)
+    return x, a.predict(x)
+
+
+def fit_two_segments(xs: Sequence[float], ys: Sequence[float],
+                     min_points: int = 2) -> PiecewiseFit:
+    """Best two-segment piecewise-linear fit.
+
+    Tries every split of the (x-sorted) points into a left and right
+    group with at least ``min_points`` each, fits each side by least
+    squares, and keeps the split with the lowest total squared error.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2 * min_points:
+        raise ValueError(
+            f"need at least {2 * min_points} points for two segments")
+    order = sorted(range(len(xs)), key=lambda i: xs[i])
+    sorted_x = [xs[i] for i in order]
+    sorted_y = [ys[i] for i in order]
+    best: PiecewiseFit | None = None
+    for split in range(min_points, len(sorted_x) - min_points + 1):
+        left_x, left_y = sorted_x[:split], sorted_y[:split]
+        right_x, right_y = sorted_x[split:], sorted_y[split:]
+        if len(set(left_x)) < 2 or len(set(right_x)) < 2:
+            continue
+        cached = fit_line(left_x, left_y)
+        scaled = fit_line(right_x, right_y)
+        sse = (cached.residual_sse(left_x, left_y)
+               + scaled.residual_sse(right_x, right_y))
+        if best is None or sse < best.sse:
+            crossing = _intersection(cached, scaled)
+            best = PiecewiseFit(
+                cached=cached,
+                scaled=scaled,
+                split_index=split,
+                pivot_x=crossing[0] if crossing else None,
+                pivot_y=crossing[1] if crossing else None,
+                sse=sse,
+            )
+    if best is None:
+        raise ValueError("no valid split found (too many duplicate xs)")
+    return best

@@ -1,0 +1,77 @@
+"""Client-count search for the 90% CPU-utilization target (Table 1).
+
+"In our experimental evaluation, we achieve our goal of 90+% CPU
+utilization at each configuration by adjusting the number of clients as
+appropriate in a range from 8 to 64" (Section 3.2.1).  This module
+automates that adjustment: CPU utilization is monotone (up to noise) in
+the client count, so a coarse doubling phase followed by a binary search
+finds the smallest client count that reaches the target — or reports the
+best achievable utilization when even the maximum client count cannot
+reach it (the I/O-bound regime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class SaturationResult:
+    """Outcome of the client search for one (W, P) configuration."""
+
+    clients: int
+    utilization: float
+    reached_target: bool
+    evaluations: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        marker = "" if self.reached_target else " (I/O bound)"
+        return f"{self.clients} clients @ {self.utilization:.0%}{marker}"
+
+
+def clients_for_utilization(measure: Callable[[int], float],
+                            target: float = 0.90,
+                            minimum: int = 1, maximum: int = 80,
+                            ) -> SaturationResult:
+    """Smallest client count whose measured utilization reaches ``target``.
+
+    ``measure(clients)`` runs the configuration and returns CPU
+    utilization in [0, 1].  When even ``maximum`` clients cannot reach
+    the target, the result carries ``reached_target=False`` and the
+    utilization at ``maximum`` — that is the paper's criterion for an
+    I/O-bound configuration (the 1200W column it excludes).
+    """
+    if not 0.0 < target <= 1.0:
+        raise ValueError("target must be in (0, 1]")
+    if minimum < 1 or maximum < minimum:
+        raise ValueError("need 1 <= minimum <= maximum")
+    evaluations = 0
+    cache: dict[int, float] = {}
+
+    def run(clients: int) -> float:
+        nonlocal evaluations
+        if clients not in cache:
+            cache[clients] = measure(clients)
+            evaluations += 1
+        return cache[clients]
+
+    # Doubling phase: find an upper bracket that reaches the target.
+    upper = minimum
+    while run(upper) < target:
+        if upper >= maximum:
+            return SaturationResult(clients=maximum, utilization=run(maximum),
+                                    reached_target=False,
+                                    evaluations=evaluations)
+        upper = min(maximum, upper * 2)
+    # Binary search for the smallest satisfying count in (lo, upper].
+    lo = minimum
+    hi = upper
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if run(mid) >= target:
+            hi = mid
+        else:
+            lo = mid + 1
+    return SaturationResult(clients=hi, utilization=run(hi),
+                            reached_target=True, evaluations=evaluations)

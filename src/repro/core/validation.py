@@ -1,0 +1,135 @@
+"""Cross-layer consistency checks.
+
+The reproduction couples three models (DES system, trace-driven
+microarchitecture, analytic queueing); each coupling is a place where a
+bug could silently skew results.  This module packages the invariants
+that must hold at any converged operating point as runnable checks, so
+a user extending the system can validate a :class:`ConfigResult` in one
+call — the same checks the integration tests enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.ironlaw import tps as ironlaw_tps
+from repro.hw.machine import machine_by_name
+
+if TYPE_CHECKING:  # avoid a core <-> experiments import cycle
+    from repro.experiments.records import ConfigResult
+
+
+@dataclass(frozen=True)
+class Check:
+    """One named invariant's outcome."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        marker = "PASS" if self.passed else "FAIL"
+        return f"[{marker}] {self.name}: {self.detail}"
+
+
+def check_iron_law(result: "ConfigResult", tolerance: float = 0.10) -> Check:
+    """DES throughput equals the iron law at the measured utilization."""
+    try:
+        machine = machine_by_name(result.machine)
+    except KeyError:
+        # Derived machines ("xeon-mp-quad/l3=2048KB") are not in the
+        # registry; their frequency matches the base preset.
+        base_name = result.machine.split("/")[0]
+        try:
+            machine = machine_by_name(base_name)
+        except KeyError:
+            return Check("iron-law", True,
+                         f"skipped: unknown machine {result.machine!r}")
+    ideal = ironlaw_tps(result.processors, machine.frequency_hz,
+                        result.ipx, result.effective_cpi)
+    predicted = ideal * result.system.cpu_utilization
+    error = abs(result.tps - predicted) / predicted
+    return Check(
+        "iron-law", error <= tolerance,
+        f"measured {result.tps:.0f} TPS vs predicted {predicted:.0f} "
+        f"({error:.1%} error, tolerance {tolerance:.0%})")
+
+
+def check_cpi_is_breakdown_sum(result: "ConfigResult",
+                               tolerance: float = 1e-6) -> Check:
+    """The converged CPI equals the sum of its Table 4 components."""
+    total = result.cpi.breakdown.total
+    error = abs(result.cpi.cpi - total)
+    return Check("cpi-breakdown-sum", error <= tolerance,
+                 f"CPI {result.cpi.cpi:.4f} vs component sum {total:.4f}")
+
+
+def check_miss_hierarchy(result: "ConfigResult") -> Check:
+    """Misses can only shrink down the hierarchy: L3 <= L2 rates."""
+    rates = result.rates
+    ok = rates.l3_misses_per_instr <= rates.l2_misses_per_instr + 1e-12
+    return Check("miss-hierarchy", ok,
+                 f"L2 {rates.l2_misses_per_instr:.5f} >= "
+                 f"L3 {rates.l3_misses_per_instr:.5f} per instruction")
+
+
+def check_busy_shares(result: "ConfigResult") -> Check:
+    """User and OS busy shares partition busy time."""
+    total = result.system.user_busy_share + result.system.os_busy_share
+    ok = abs(total - 1.0) < 1e-6 or total == 0.0
+    return Check("busy-shares", ok, f"user+OS busy share = {total:.6f}")
+
+
+def check_switch_floor(result: "ConfigResult") -> Check:
+    """Each physical read blocks once, so switches >= reads per txn."""
+    system = result.system
+    ok = (system.context_switches_per_txn
+          >= system.reads_per_txn - 0.25)  # Poisson sampling slack
+    return Check("switch-floor", ok,
+                 f"{system.context_switches_per_txn:.2f} switches vs "
+                 f"{system.reads_per_txn:.2f} reads per txn")
+
+
+def check_utilization_bounds(result: "ConfigResult") -> Check:
+    """Utilizations are fractions."""
+    system = result.system
+    values = (system.cpu_utilization, system.disk_utilization,
+              result.cpi.bus_utilization)
+    ok = all(0.0 <= v <= 1.0 + 1e-9 for v in values)
+    return Check("utilization-bounds", ok,
+                 f"cpu={values[0]:.3f} disk={values[1]:.3f} "
+                 f"bus={values[2]:.3f}")
+
+
+def check_log_volume(result: "ConfigResult", low_kb: float = 3.0,
+                     high_kb: float = 10.0) -> Check:
+    """Redo volume stays in the workload's ~6 KB/txn band."""
+    kb = result.system.log_bytes_per_txn / 1024.0
+    return Check("log-volume", low_kb <= kb <= high_kb,
+                 f"{kb:.1f} KB/txn (band {low_kb}-{high_kb})")
+
+
+ALL_CHECKS: tuple[Callable[["ConfigResult"], Check], ...] = (
+    check_iron_law,
+    check_cpi_is_breakdown_sum,
+    check_miss_hierarchy,
+    check_busy_shares,
+    check_switch_floor,
+    check_utilization_bounds,
+    check_log_volume,
+)
+
+
+def validate_result(result: "ConfigResult") -> list[Check]:
+    """Run every invariant; returns all outcomes (passed and failed)."""
+    return [check(result) for check in ALL_CHECKS]
+
+
+def assert_valid(result: "ConfigResult") -> None:
+    """Raise AssertionError listing any failed invariants."""
+    failures = [check for check in validate_result(result)
+                if not check.passed]
+    if failures:
+        summary = "; ".join(f"{c.name} ({c.detail})" for c in failures)
+        raise AssertionError(f"invariant violations: {summary}")

@@ -1,0 +1,33 @@
+"""EMON-style performance-counter infrastructure.
+
+The paper's data comes from the Xeon MP's 18 performance counters
+(grouped into 9 pairs, each pair tied to a subset of events), sampled by
+the EMON tool: after a 20-minute warm-up, each event is measured for ten
+seconds in a round-robin fashion, and the rotation is repeated six times
+(Section 3.3).
+
+This package reproduces that measurement protocol against the simulated
+event sources — including its artifact: events with a low duty cycle
+(OS-space events at small warehouse counts) pick up visible sampling
+variance, which is the paper's explanation for the noisy OS CPI of
+Figure 11.
+
+- :mod:`~repro.emon.events` — the Table 2 event definitions.
+- :mod:`~repro.emon.counters` — counters, pairs, and their configuration
+  registers.
+- :mod:`~repro.emon.sampler` — the round-robin interval sampler.
+"""
+
+from repro.emon.events import EVENT_TABLE, EmonEvent, event_by_alias
+from repro.emon.counters import CounterFile, PerformanceCounter
+from repro.emon.sampler import RoundRobinSampler, SampledRates
+
+__all__ = [
+    "EVENT_TABLE",
+    "EmonEvent",
+    "event_by_alias",
+    "CounterFile",
+    "PerformanceCounter",
+    "RoundRobinSampler",
+    "SampledRates",
+]

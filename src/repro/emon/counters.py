@@ -1,0 +1,88 @@
+"""Counter hardware model: 18 counters in 9 pairs.
+
+"There are 18 performance counters grouped into 9 pairs, with each pair
+associated to a particular subset of events.  The particular counters
+can be selected by setting the counter configuration control registers"
+(Section 3.3).  The model enforces the pairing constraint: an event can
+only be programmed onto a counter in its group, which is why EMON must
+rotate event groups over time instead of measuring everything at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.emon.events import EmonEvent
+
+PAIRS = 9
+COUNTERS_PER_PAIR = 2
+
+
+@dataclass
+class PerformanceCounter:
+    """One hardware counter."""
+
+    index: int
+    pair: int
+    event: Optional[EmonEvent] = None
+    value: float = 0.0
+
+    def program(self, event: EmonEvent) -> None:
+        if event.counter_group != self.pair:
+            raise ValueError(
+                f"event {event.alias!r} requires pair {event.counter_group}, "
+                f"counter {self.index} is in pair {self.pair}")
+        self.event = event
+        self.value = 0.0
+
+    def clear(self) -> None:
+        self.event = None
+        self.value = 0.0
+
+
+class CounterFile:
+    """The full 18-counter register file."""
+
+    def __init__(self) -> None:
+        self.counters = [
+            PerformanceCounter(index=i, pair=i // COUNTERS_PER_PAIR)
+            for i in range(PAIRS * COUNTERS_PER_PAIR)
+        ]
+
+    def program_events(self, events: list[EmonEvent]) -> list[PerformanceCounter]:
+        """Program a set of events; returns the counters used.
+
+        Raises when two events need more counters than their pair has —
+        the constraint that forces round-robin sampling.
+        """
+        self.clear_all()
+        used: dict[int, int] = {}
+        assigned = []
+        for event in events:
+            pair = event.counter_group
+            slot = used.get(pair, 0)
+            if slot >= COUNTERS_PER_PAIR:
+                raise ValueError(
+                    f"counter pair {pair} is full; cannot also measure "
+                    f"{event.alias!r} in this rotation")
+            counter = self.counters[pair * COUNTERS_PER_PAIR + slot]
+            counter.program(event)
+            used[pair] = slot + 1
+            assigned.append(counter)
+        return assigned
+
+    def accumulate(self, deltas: dict[str, float]) -> None:
+        """Add event deltas (by alias) into the programmed counters."""
+        for counter in self.counters:
+            if counter.event is not None:
+                counter.value += deltas.get(counter.event.alias, 0.0)
+
+    def read(self) -> dict[str, float]:
+        """Values of all programmed counters by event alias."""
+        return {c.event.alias: c.value for c in self.counters
+                if c.event is not None}
+
+    def clear_all(self) -> None:
+        for counter in self.counters:
+            counter.clear()

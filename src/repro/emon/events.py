@@ -1,0 +1,65 @@
+"""Performance-monitoring event definitions — Table 2 of the paper.
+
+Each event records the EMON event name it is derived from, the alias the
+paper's analysis uses, and which counter group can measure it (the Xeon
+MP's 18 counters come in 9 pairs, each pair wired to a particular subset
+of events).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EmonEvent:
+    """One measurable event."""
+
+    alias: str
+    emon_names: tuple[str, ...]
+    description: str
+    #: Index of the counter pair able to measure this event (0-8).
+    counter_group: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.counter_group <= 8:
+            raise ValueError("counter_group must be 0..8")
+
+
+#: Table 2: the ten events found "satisfactory to characterize the
+#: microarchitectural behavior" of the system.
+EVENT_TABLE: tuple[EmonEvent, ...] = (
+    EmonEvent("instructions", ("instr_retired",),
+              "The number of instructions retired", 0),
+    EmonEvent("branch_mispredictions", ("mispred_branch_retired",),
+              "The number of mispredicted branches", 1),
+    EmonEvent("tlb_miss", ("page_walk_type",),
+              "The number of misses in the TLB", 2),
+    EmonEvent("tc_miss", ("BPU_fetch_request",),
+              "The number of misses in the Trace Cache", 3),
+    EmonEvent("l2_miss", ("BSU_cache_reference",),
+              "The number of misses in the L2 cache", 4),
+    EmonEvent("l3_miss", ("BSU_cache_reference",),
+              "The number of misses in the L3 cache", 5),
+    EmonEvent("clock_cycles", ("Global_power_events",),
+              "The number of unhalted clock cycles", 0),
+    EmonEvent("bus_utilization", ("FSB_data_activity",),
+              "The percentage of time the processor bus is transferring data",
+              6),
+    EmonEvent("bus_transaction_time", ("IOQ_active_entries", "IOQ_allocation"),
+              "The average amount of time to complete a bus transaction "
+              "once it enters the IOQ", 7),
+    EmonEvent("context_switches", ("os_context_switch",),
+              "OS context switches (from the kernel, not EMON)", 8),
+)
+
+_BY_ALIAS = {event.alias: event for event in EVENT_TABLE}
+
+
+def event_by_alias(alias: str) -> EmonEvent:
+    """Look up an event by its paper alias."""
+    try:
+        return _BY_ALIAS[alias]
+    except KeyError:
+        known = ", ".join(sorted(_BY_ALIAS))
+        raise KeyError(f"unknown event {alias!r}; known: {known}")

@@ -1,0 +1,95 @@
+"""ASCII chart rendering for figure series.
+
+The reproduction is judged on curve *shapes* (knees, saturation,
+crossovers), which are easier to eyeball as a plot than as a table.
+This renderer draws multi-series line charts on a character grid, good
+enough to see the cached/scaled regions and the pivot at a glance in a
+terminal or a text file.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_chart(title: str, xs: Sequence[float],
+                 series: dict[str, Sequence[float]],
+                 width: int = 72, height: int = 18,
+                 y_label: str = "", x_label: str = "") -> str:
+    """Draw named series over a shared x axis as ASCII art.
+
+    The x axis is positioned by value (not by index), so uneven
+    warehouse grids keep their geometry and knees appear where they
+    belong.
+    """
+    if not xs:
+        raise ValueError("need at least one x value")
+    if not series:
+        raise ValueError("need at least one series")
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, expected "
+                f"{len(xs)}")
+    if width < 20 or height < 5:
+        raise ValueError("chart too small to draw")
+
+    x_min, x_max = min(xs), max(xs)
+    all_values = [v for values in series.values() for v in values]
+    y_min = min(all_values + [0.0])
+    y_max = max(all_values)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, marker: str) -> None:
+        column = round((x - x_min) / x_span * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        grid[height - 1 - row][column] = marker
+
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        # Interpolated segments make trends readable at low resolution.
+        for (x0, y0), (x1, y1) in zip(zip(xs, values), zip(xs[1:], values[1:])):
+            steps = max(2, round(abs(x1 - x0) / x_span * (width - 1)))
+            for step in range(steps + 1):
+                t = step / steps
+                plot(x0 + t * (x1 - x0), y0 + t * (y1 - y0), marker)
+        for x, y in zip(xs, values):
+            plot(x, y, marker)
+
+    y_top = _fmt(y_max)
+    y_bottom = _fmt(y_min)
+    gutter = max(len(y_top), len(y_bottom), len(y_label)) + 1
+    lines = [title]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_top
+        elif row_index == height - 1:
+            label = y_bottom
+        elif row_index == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(label.rjust(gutter) + " |" + "".join(row))
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_axis = _fmt(x_min).ljust(width - len(_fmt(x_max))) + _fmt(x_max)
+    lines.append(" " * gutter + "  " + x_axis)
+    if x_label:
+        lines.append(" " * gutter + "  " + x_label.center(width))
+    legend = "   ".join(f"{_MARKERS[i % len(_MARKERS)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * gutter + "  legend: " + legend)
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e7:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.2f}"

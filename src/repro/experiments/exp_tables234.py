@@ -1,0 +1,58 @@
+"""Tables 2-4: the measurement-and-attribution definitions.
+
+These tables are definitional rather than measured; the experiment
+renders them from the code that implements them, so the benchmark
+output documents exactly what the CPI decomposition uses.
+"""
+
+from __future__ import annotations
+
+from repro.emon.events import EVENT_TABLE
+from repro.experiments.report import render_table
+from repro.hw.machine import MachineConfig, XEON_MP_QUAD
+
+
+def render_table2() -> str:
+    rows = [[e.alias, " & ".join(e.emon_names), e.description]
+            for e in EVENT_TABLE]
+    return render_table(
+        "Table 2: performance-monitoring events used in CPI analysis",
+        ["Event alias", "EMON events used", "Description"], rows)
+
+
+def render_table3(machine: MachineConfig = XEON_MP_QUAD) -> str:
+    costs = machine.costs
+    rows = [
+        ["Instruction", costs.instruction, ""],
+        ["Branch misprediction", costs.branch_mispredict, ""],
+        ["TLB miss", costs.tlb_miss, ""],
+        ["TC miss", costs.tc_miss, ""],
+        ["L2 miss", costs.l2_miss, "(measured)"],
+        ["L3 miss", costs.l3_miss, "(measured)"],
+        ["Bus-transaction time for 1P",
+         machine.bus.base_transaction_cycles, "(measured)"],
+    ]
+    return render_table(
+        f"Table 3: clock-cycle cost per component ({machine.name})",
+        ["Event", "Cycles per event", ""], rows)
+
+
+def render_table4() -> str:
+    rows = [
+        ["Inst", "Instructions * 0.5"],
+        ["Branch", "Branch Mispredictions * 20"],
+        ["TLB", "TLB Miss * 20"],
+        ["TC", "TC Miss * 20"],
+        ["L2", "(L2 Miss - L3 Miss) * 16"],
+        ["L3", "L3 Miss * (300 + Bus-Transaction Time - "
+               "Bus-Transaction Time for 1P)"],
+        ["Other", "Clock Cycles / Instructions - sum(computed components)"],
+    ]
+    return render_table("Table 4: CPI component contribution formulas",
+                        ["CPI component", "Contribution formula"], rows,
+                        note="Implemented in repro.core.cpi_model."
+                             "compute_breakdown.")
+
+
+def render_all() -> str:
+    return "\n\n".join([render_table2(), render_table3(), render_table4()])

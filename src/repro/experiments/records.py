@@ -1,0 +1,159 @@
+"""Result records and the sweep cache.
+
+A :class:`ConfigResult` bundles everything one configuration run
+produces: system-level metrics (DES), microarchitectural rates (trace
+simulation), and the converged CPI solution.  Results serialize to JSON
+so a sweep computed once (a couple of minutes) can feed every benchmark
+and the EXPERIMENTS.md tables without re-simulating.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.core.cpi_model import CpiBreakdown, CpiSolution
+from repro.hw.trace import MicroarchRates
+from repro.odb.system import SystemMetrics
+
+
+@dataclass(frozen=True)
+class ConfigResult:
+    """Everything measured at one (machine, W, C, P) operating point."""
+
+    machine: str
+    warehouses: int
+    clients: int
+    processors: int
+    system: SystemMetrics
+    rates: MicroarchRates
+    cpi: CpiSolution
+    #: Iron-law throughput at 100% utilization from (P, F, IPX, CPI).
+    tps_ironlaw: float
+    fixed_point_rounds: int
+
+    @property
+    def tps(self) -> float:
+        """Measured throughput (includes utilization below 100%)."""
+        return self.system.tps
+
+    @property
+    def ipx(self) -> float:
+        return self.system.ipx
+
+    @property
+    def effective_cpi(self) -> float:
+        """IPX-weighted CPI over user and OS space."""
+        total = self.system.ipx
+        if total <= 0:
+            return self.cpi.cpi
+        return (self.system.user_ipx * self.cpi.user_cpi
+                + self.system.os_ipx * self.cpi.os_cpi) / total
+
+    def to_dict(self) -> dict:
+        return {
+            "machine": self.machine,
+            "warehouses": self.warehouses,
+            "clients": self.clients,
+            "processors": self.processors,
+            "system": dataclasses.asdict(self.system),
+            "rates": dataclasses.asdict(self.rates),
+            "cpi": {
+                "breakdown": dataclasses.asdict(self.cpi.breakdown),
+                "cpi": self.cpi.cpi,
+                "bus_utilization": self.cpi.bus_utilization,
+                "bus_transaction_time": self.cpi.bus_transaction_time,
+                "iterations": self.cpi.iterations,
+                "user_cpi": self.cpi.user_cpi,
+                "os_cpi": self.cpi.os_cpi,
+            },
+            "tps_ironlaw": self.tps_ironlaw,
+            "fixed_point_rounds": self.fixed_point_rounds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConfigResult":
+        cpi_data = data["cpi"]
+        solution = CpiSolution(
+            breakdown=CpiBreakdown(**cpi_data["breakdown"]),
+            cpi=cpi_data["cpi"],
+            bus_utilization=cpi_data["bus_utilization"],
+            bus_transaction_time=cpi_data["bus_transaction_time"],
+            iterations=cpi_data["iterations"],
+            user_cpi=cpi_data["user_cpi"],
+            os_cpi=cpi_data["os_cpi"],
+        )
+        return cls(
+            machine=data["machine"],
+            warehouses=data["warehouses"],
+            clients=data["clients"],
+            processors=data["processors"],
+            system=SystemMetrics(**data["system"]),
+            rates=MicroarchRates(**data["rates"]),
+            cpi=solution,
+            tps_ironlaw=data["tps_ironlaw"],
+            fixed_point_rounds=data["fixed_point_rounds"],
+        )
+
+
+class ResultCache:
+    """On-disk JSON cache of configuration results.
+
+    Keyed by the run parameters plus a settings fingerprint; safe to
+    delete at any time (results regenerate deterministically).  Disable
+    with the ``REPRO_NO_CACHE`` environment variable.
+    """
+
+    def __init__(self, directory: Optional[Path] = None):
+        if directory is None:
+            directory = Path(__file__).resolve().parents[3] / "results" / "cache"
+        self.directory = Path(directory)
+        self.enabled = not os.environ.get("REPRO_NO_CACHE")
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    @staticmethod
+    def key_for(machine: str, warehouses: int, clients: int, processors: int,
+                settings_fingerprint: str) -> str:
+        # Derived machine names ("xeon-mp-quad/l3=512KB") contain path
+        # separators and '='; flatten to a filesystem-safe slug.
+        safe_machine = "".join(c if c.isalnum() or c in "-." else "_"
+                               for c in machine)
+        return (f"{safe_machine}-w{warehouses}-c{clients}-p{processors}"
+                f"-{settings_fingerprint}")
+
+    def load(self, key: str) -> Optional[ConfigResult]:
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return ConfigResult.from_dict(json.load(handle))
+        except (json.JSONDecodeError, KeyError, TypeError):
+            # A stale or corrupt entry regenerates.
+            return None
+
+    def store(self, key: str, result: ConfigResult) -> None:
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle)
+
+    def clear(self) -> int:
+        """Delete all cached entries; returns the number removed."""
+        if not self.directory.exists():
+            return 0
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed

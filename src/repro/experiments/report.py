@@ -1,0 +1,54 @@
+"""Plain-text rendering of tables and figure series.
+
+Every experiment module renders its result through these helpers so the
+benchmark harness prints the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence], note: str = "") -> str:
+    """A fixed-width table with a title rule."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * (len(widths) - 1))]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_label: str, xs: Sequence,
+                  series: dict[str, Sequence[float]], note: str = "") -> str:
+    """A figure as columns: x plus one column per named series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(xs):
+        rows.append([x] + [values[index] for values in series.values()])
+    return render_table(title, headers, rows, note=note)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        if abs(cell) >= 0.01:
+            return f"{cell:.3f}"
+        return f"{cell:.2e}"
+    return str(cell)

@@ -1,0 +1,146 @@
+"""The coupled configuration runner.
+
+One configuration run is a fixed point between two layers:
+
+1. the **system DES** needs seconds-per-instruction (CPI / F) to convert
+   instruction segments into CPU time;
+2. the **microarchitecture model** needs the DES's behavior (IPX split,
+   reads and context switches per transaction) to generate the reference
+   stream whose cache behavior determines CPI.
+
+The runner alternates the two until the CPI stabilizes — two to three
+rounds suffice because the coupling is mild — and then evaluates the
+iron law with the converged values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.core.cpi_model import solve_cpi
+from repro.core.ironlaw import tps as ironlaw_tps
+from repro.experiments.configs import (
+    DEFAULT_SETTINGS,
+    RunnerSettings,
+    client_count,
+)
+from repro.experiments.records import ConfigResult, ResultCache
+from repro.hw.machine import MachineConfig, XEON_MP_QUAD
+from repro.hw.trace import TraceGenerator, TraceProfile
+from repro.odb.system import OdbConfig, OdbSystem
+from repro.sim.randomness import RandomStreams
+
+_CACHE = ResultCache()
+
+
+def settings_fingerprint(settings: RunnerSettings) -> str:
+    """Short stable hash of the fidelity settings (cache key part)."""
+    text = repr(settings)
+    return hashlib.blake2b(text.encode(), digest_size=6).hexdigest()
+
+
+def run_configuration(warehouses: int, processors: int,
+                      clients: Optional[int] = None,
+                      machine: MachineConfig = XEON_MP_QUAD,
+                      settings: RunnerSettings = DEFAULT_SETTINGS,
+                      use_cache: bool = True) -> ConfigResult:
+    """Run one (W, C, P) configuration end-to-end.
+
+    ``clients`` defaults to the Table 1 client count for (W, P).
+    """
+    if clients is None:
+        clients = client_count(warehouses, processors)
+    key = ResultCache.key_for(machine.name, warehouses, clients, processors,
+                              settings_fingerprint(settings))
+    if use_cache:
+        cached = _CACHE.load(key)
+        if cached is not None:
+            return cached
+
+    user_cpi, os_cpi = 2.5, 2.0
+    system_metrics = None
+    rates = None
+    solution = None
+    for round_index in range(settings.fixed_point_rounds):
+        config = OdbConfig(
+            warehouses=warehouses,
+            clients=clients,
+            processors=processors,
+            machine=machine,
+            seed=settings.seed,
+            user_cpi=user_cpi,
+            os_cpi=os_cpi,
+        )
+        system_metrics = OdbSystem(config).run(
+            warmup_txns=settings.warmup_txns,
+            measure_txns=settings.measure_txns,
+            time_limit_s=settings.time_limit_s,
+        )
+        profile = TraceProfile(
+            warehouses=warehouses,
+            processors=processors,
+            clients=clients,
+            user_ipx=system_metrics.user_ipx,
+            os_ipx=system_metrics.os_ipx,
+            reads_per_txn=system_metrics.reads_per_txn,
+            context_switches_per_txn=system_metrics.context_switches_per_txn,
+        )
+        generator = TraceGenerator(
+            machine, profile,
+            RandomStreams(settings.seed).fork(f"trace-round{round_index}"))
+        rates = generator.run(settings.trace_txns,
+                              warmup=settings.trace_warmup)
+        solution = solve_cpi(rates, machine, processors)
+        user_cpi, os_cpi = solution.user_cpi, solution.os_cpi
+
+    assert system_metrics is not None and rates is not None \
+        and solution is not None
+    effective_cpi = ((system_metrics.user_ipx * solution.user_cpi
+                      + system_metrics.os_ipx * solution.os_cpi)
+                     / system_metrics.ipx)
+    result = ConfigResult(
+        machine=machine.name,
+        warehouses=warehouses,
+        clients=clients,
+        processors=processors,
+        system=system_metrics,
+        rates=rates,
+        cpi=solution,
+        tps_ironlaw=ironlaw_tps(processors, machine.frequency_hz,
+                                system_metrics.ipx, effective_cpi),
+        fixed_point_rounds=settings.fixed_point_rounds,
+    )
+    if use_cache:
+        _CACHE.store(key, result)
+    return result
+
+
+def sweep(warehouse_grid, processors: int,
+          machine: MachineConfig = XEON_MP_QUAD,
+          settings: RunnerSettings = DEFAULT_SETTINGS,
+          clients_fn=None, use_cache: bool = True) -> list[ConfigResult]:
+    """Run a warehouse sweep at a fixed processor count."""
+    results = []
+    for warehouses in warehouse_grid:
+        clients = (clients_fn(warehouses, processors)
+                   if clients_fn is not None else None)
+        results.append(run_configuration(
+            warehouses, processors, clients=clients, machine=machine,
+            settings=settings, use_cache=use_cache))
+    return results
+
+
+def utilization_for(warehouses: int, processors: int, clients: int,
+                    machine: MachineConfig = XEON_MP_QUAD,
+                    settings: RunnerSettings = DEFAULT_SETTINGS) -> float:
+    """CPU utilization at a specific client count (for the Table 1 search).
+
+    Runs a shortened coupled iteration: CPI feedback matters for
+    utilization (a higher CPI stretches CPU bursts and hides more I/O),
+    so one full round plus a re-run is used.
+    """
+    result = run_configuration(warehouses, processors, clients=clients,
+                               machine=machine, settings=settings,
+                               use_cache=True)
+    return result.system.cpu_utilization

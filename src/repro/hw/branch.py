@@ -1,0 +1,59 @@
+"""Branch predictor model.
+
+A bimodal predictor: a table of 2-bit saturating counters indexed by
+branch PC.  The paper observes that the branch component of CPI is nearly
+flat across workload scaling (Figure 12); in this model that emerges
+because the branch working set (database code) does not change with the
+number of warehouses — only context-switch-induced state loss perturbs
+it, and only slightly.
+"""
+
+from __future__ import annotations
+
+
+# 2-bit saturating counter states.
+_STRONG_NOT_TAKEN, _WEAK_NOT_TAKEN, _WEAK_TAKEN, _STRONG_TAKEN = range(4)
+
+
+class BimodalPredictor:
+    """A table of 2-bit saturating counters indexed by PC."""
+
+    def __init__(self, table_size: int = 4096):
+        if table_size <= 0:
+            raise ValueError("predictor table size must be positive")
+        self.table_size = table_size
+        self._table = [_WEAK_TAKEN] * table_size
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict branch at ``pc``, train on the outcome; True if correct."""
+        index = pc % self.table_size
+        state = self._table[index]
+        predicted_taken = state >= _WEAK_TAKEN
+        correct = predicted_taken == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        if taken:
+            if state < _STRONG_TAKEN:
+                self._table[index] = state + 1
+        else:
+            if state > _STRONG_NOT_TAKEN:
+                self._table[index] = state - 1
+        return correct
+
+    def flush(self) -> None:
+        """Reset all counters to weakly taken (context-switch state loss)."""
+        self._table = [_WEAK_TAKEN] * self.table_size
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Mispredictions / predictions (0 when never used)."""
+        if not self.predictions:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+    def reset_stats(self) -> None:
+        self.predictions = 0
+        self.mispredictions = 0

@@ -1,0 +1,140 @@
+"""A set-associative, write-back, LRU cache model.
+
+The model is line-granular and demand-filled: every access either hits a
+resident line (refreshing its recency) or misses, installs the line, and
+possibly evicts the least-recently-used line of the set (reporting a
+writeback when the victim was dirty).  Each set is a Python dict keyed by
+line id; insertion order doubles as LRU order (hits delete + reinsert).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hw.machine import CacheConfig
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a single cache access."""
+
+    hit: bool
+    #: Line id evicted to make room, or None when a way was free or on hit.
+    evicted_line: Optional[int] = None
+    #: True when the evicted line was dirty (a writeback occurred).
+    writeback: bool = False
+
+
+class SetAssociativeCache:
+    """One cache level.
+
+    Addresses are byte addresses; the cache works internally on line ids
+    (``address // line_bytes``).  Statistics counters are plain attributes
+    so the EMON layer can snapshot them cheaply.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._num_sets = config.num_sets
+        self._ways = config.associativity
+        self._line_shift = config.line_bytes.bit_length() - 1
+        # One dict per set: {line_id: dirty}; dict order is LRU order.
+        self._sets: list[dict[int, bool]] = [dict() for _ in range(self._num_sets)]
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.invalidations = 0
+
+    # -- address helpers ----------------------------------------------------
+
+    def line_of(self, address: int) -> int:
+        """Line id containing byte ``address``."""
+        return address >> self._line_shift
+
+    def _set_of(self, line: int) -> dict[int, bool]:
+        return self._sets[line % self._num_sets]
+
+    # -- operations ----------------------------------------------------------
+
+    def access(self, address: int, write: bool = False) -> AccessResult:
+        """Reference a byte address; returns hit/miss and victim info."""
+        line = address >> self._line_shift
+        cache_set = self._sets[line % self._num_sets]
+        self.accesses += 1
+        dirty = cache_set.pop(line, None)
+        if dirty is not None:
+            self.hits += 1
+            cache_set[line] = dirty or write
+            return AccessResult(hit=True)
+        self.misses += 1
+        evicted_line = None
+        writeback = False
+        if len(cache_set) >= self._ways:
+            evicted_line = next(iter(cache_set))
+            writeback = cache_set.pop(evicted_line)
+            self.evictions += 1
+            if writeback:
+                self.writebacks += 1
+        cache_set[line] = write
+        return AccessResult(hit=False, evicted_line=evicted_line,
+                            writeback=writeback)
+
+    def contains(self, address: int) -> bool:
+        """True when the line holding ``address`` is resident (no LRU touch)."""
+        line = address >> self._line_shift
+        return line in self._sets[line % self._num_sets]
+
+    def invalidate(self, address: int) -> bool:
+        """Drop the line holding ``address`` (coherence); True if present."""
+        line = address >> self._line_shift
+        cache_set = self._sets[line % self._num_sets]
+        if line in cache_set:
+            del cache_set[line]
+            self.invalidations += 1
+            return True
+        return False
+
+    def invalidate_line(self, line: int) -> bool:
+        """Drop a line by line id (coherence fast path)."""
+        cache_set = self._sets[line % self._num_sets]
+        if line in cache_set:
+            del cache_set[line]
+            self.invalidations += 1
+            return True
+        return False
+
+    def flush(self) -> int:
+        """Empty the cache (e.g. at simulation phase boundaries)."""
+        resident = sum(len(s) for s in self._sets)
+        for cache_set in self._sets:
+            cache_set.clear()
+        return resident
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of lines currently cached."""
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses / accesses (0 when never accessed)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero the counters without disturbing cache contents (warm-up)."""
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.invalidations = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cfg = self.config
+        return (f"<Cache {cfg.name} {cfg.size_bytes // 1024}KB "
+                f"{cfg.associativity}-way miss_rate={self.miss_rate:.3f}>")

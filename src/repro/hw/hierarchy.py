@@ -1,0 +1,203 @@
+"""Per-CPU cache stacks and the SMP assembly.
+
+Each CPU has a private trace cache (code), unified L2 and L3 (inclusive),
+a data TLB, and a branch predictor — mirroring the Xeon MP's private
+per-package hierarchy.  The :class:`SmpHierarchy` wires ``P`` of these to
+one :class:`~repro.hw.coherence.CoherenceDirectory` and splits every event
+count into user and kernel buckets, which is what the paper's
+user/OS-space figures (5, 6, 10, 11, 14, 15) need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.hw.branch import BimodalPredictor
+from repro.hw.cache import SetAssociativeCache
+from repro.hw.coherence import CoherenceDirectory
+from repro.hw.machine import CacheConfig, MachineConfig
+from repro.hw.tlb import Tlb
+
+
+def scaled_cache_config(config: CacheConfig, scale: int) -> CacheConfig:
+    """Shrink a cache by ``scale`` while keeping line size and ways.
+
+    The microarchitecture simulation runs a thinned reference stream, so
+    the caches are shrunk by the same resolution factor (DESIGN.md §6).
+    The result always keeps at least one full set.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    lines_per_set = config.associativity
+    target_lines = max(lines_per_set, config.total_lines // scale)
+    # Round down to a whole number of sets.
+    target_lines -= target_lines % lines_per_set
+    return replace(config, size_bytes=target_lines * config.line_bytes)
+
+
+@dataclass
+class SplitCount:
+    """An event count split into user and kernel parts."""
+
+    user: int = 0
+    kernel: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.user + self.kernel
+
+    def add(self, kernel: bool, amount: int = 1) -> None:
+        if kernel:
+            self.kernel += amount
+        else:
+            self.user += amount
+
+
+@dataclass
+class HierarchyCounts:
+    """All Table 2 event counts produced by a hierarchy run."""
+
+    data_refs: SplitCount = field(default_factory=SplitCount)
+    code_refs: SplitCount = field(default_factory=SplitCount)
+    branches: SplitCount = field(default_factory=SplitCount)
+    mispredicts: SplitCount = field(default_factory=SplitCount)
+    tlb_misses: SplitCount = field(default_factory=SplitCount)
+    tc_misses: SplitCount = field(default_factory=SplitCount)
+    l2_misses: SplitCount = field(default_factory=SplitCount)
+    l3_misses: SplitCount = field(default_factory=SplitCount)
+    l3_writebacks: SplitCount = field(default_factory=SplitCount)
+    coherence_misses: SplitCount = field(default_factory=SplitCount)
+    context_switches: int = 0
+
+
+class CpuHierarchy:
+    """One CPU's private TC / L2 / L3 / DTLB / branch predictor."""
+
+    def __init__(self, machine: MachineConfig, cpu: int, scale: int = 1):
+        self.cpu = cpu
+        self.machine = machine
+        self.tc = SetAssociativeCache(scaled_cache_config(machine.tc, scale))
+        self.l2 = SetAssociativeCache(scaled_cache_config(machine.l2, scale))
+        self.l3 = SetAssociativeCache(scaled_cache_config(machine.l3, scale))
+        self.dtlb = Tlb(machine.dtlb)
+        self.predictor = BimodalPredictor()
+        self.counts = HierarchyCounts()
+        if self.l2.config.line_bytes != self.l3.config.line_bytes:
+            raise ValueError("L2 and L3 must share a line size")
+
+    def data_access(self, address: int, write: bool, kernel: bool) -> tuple[bool, bool]:
+        """One data reference; returns ``(l2_missed, l3_missed)``."""
+        counts = self.counts
+        counts.data_refs.add(kernel)
+        if not self.dtlb.access(address):
+            counts.tlb_misses.add(kernel)
+        l2_result = self.l2.access(address, write)
+        if l2_result.hit:
+            return False, False
+        counts.l2_misses.add(kernel)
+        l3_result = self.l3.access(address, write)
+        if l3_result.hit:
+            return True, False
+        counts.l3_misses.add(kernel)
+        if l3_result.writeback:
+            counts.l3_writebacks.add(kernel)
+        if l3_result.evicted_line is not None:
+            # Inclusive hierarchy: an L3 eviction drops the L2 copy too.
+            self.l2.invalidate_line(l3_result.evicted_line)
+        return True, True
+
+    def fetch(self, address: int, kernel: bool) -> bool:
+        """One instruction-fetch reference; returns True on a TC miss.
+
+        A TC miss is filled from L2/L3, so code misses contribute to the
+        unified cache traffic as on the real machine.
+        """
+        self.counts.code_refs.add(kernel)
+        if self.tc.access(address).hit:
+            return False
+        self.counts.tc_misses.add(kernel)
+        if not self.l2.access(address).hit:
+            self.counts.l2_misses.add(kernel)
+            l3_result = self.l3.access(address)
+            if not l3_result.hit:
+                self.counts.l3_misses.add(kernel)
+                if l3_result.writeback:
+                    self.counts.l3_writebacks.add(kernel)
+                if l3_result.evicted_line is not None:
+                    self.l2.invalidate_line(l3_result.evicted_line)
+        return True
+
+    def branch(self, pc: int, taken: bool, kernel: bool) -> bool:
+        """One conditional branch; returns True when predicted correctly."""
+        self.counts.branches.add(kernel)
+        correct = self.predictor.predict_and_update(pc, taken)
+        if not correct:
+            self.counts.mispredicts.add(kernel)
+        return correct
+
+    def context_switch(self) -> None:
+        """Address-space switch: the DTLB is flushed."""
+        self.dtlb.flush()
+        self.counts.context_switches += 1
+
+    def invalidate_data_line(self, line: int) -> None:
+        """Coherence invalidation of a (L2/L3-sized) line id."""
+        self.l2.invalidate_line(line)
+        self.l3.invalidate_line(line)
+
+
+class SmpHierarchy:
+    """``P`` private hierarchies kept coherent by one directory."""
+
+    def __init__(self, machine: MachineConfig, processors: int, scale: int = 1):
+        if not 1 <= processors <= machine.max_processors:
+            raise ValueError(
+                f"processors must be 1..{machine.max_processors}, got {processors}")
+        self.machine = machine
+        self.processors = processors
+        self.cpus = [CpuHierarchy(machine, cpu, scale) for cpu in range(processors)]
+        self.directory = CoherenceDirectory(processors, self._invalidate)
+        self._line_shift = self.cpus[0].l3.config.line_bytes.bit_length() - 1
+
+    def _invalidate(self, cpu: int, line: int) -> None:
+        self.cpus[cpu].invalidate_data_line(line)
+
+    def data_access(self, cpu: int, address: int, write: bool, kernel: bool,
+                    shared: bool = False) -> None:
+        """A data reference on ``cpu``; ``shared`` lines engage coherence."""
+        hierarchy = self.cpus[cpu]
+        l2_miss, l3_miss = hierarchy.data_access(address, write, kernel)
+        if not shared or self.processors == 1:
+            return
+        line = address >> self._line_shift
+        if write:
+            coherence_miss = self.directory.note_write(cpu, line, l3_miss)
+        else:
+            coherence_miss = self.directory.note_read(cpu, line, l3_miss)
+        if coherence_miss:
+            hierarchy.counts.coherence_misses.add(kernel)
+
+    def fetch(self, cpu: int, address: int, kernel: bool) -> None:
+        """An instruction fetch on ``cpu`` (code is read-shared: no coherence)."""
+        self.cpus[cpu].fetch(address, kernel)
+
+    def branch(self, cpu: int, pc: int, taken: bool, kernel: bool) -> None:
+        self.cpus[cpu].branch(pc, taken, kernel)
+
+    def context_switch(self, cpu: int) -> None:
+        self.cpus[cpu].context_switch()
+
+    def merged_counts(self) -> HierarchyCounts:
+        """Sum of all CPUs' event counts."""
+        merged = HierarchyCounts()
+        for hierarchy in self.cpus:
+            counts = hierarchy.counts
+            for name in ("data_refs", "code_refs", "branches", "mispredicts",
+                         "tlb_misses", "tc_misses", "l2_misses", "l3_misses",
+                         "l3_writebacks", "coherence_misses"):
+                target: SplitCount = getattr(merged, name)
+                source: SplitCount = getattr(counts, name)
+                target.user += source.user
+                target.kernel += source.kernel
+            merged.context_switches += counts.context_switches
+        return merged

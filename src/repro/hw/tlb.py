@@ -1,0 +1,49 @@
+"""A TLB modeled as a set-associative cache of page numbers."""
+
+from __future__ import annotations
+
+from repro.hw.machine import CacheConfig, TlbConfig
+from repro.hw.cache import SetAssociativeCache
+
+
+class Tlb:
+    """Data TLB: translates byte addresses at page granularity.
+
+    Internally reuses :class:`SetAssociativeCache` with one "line" per
+    page.  A fully associative TLB is the single-set special case
+    (``entries == associativity``), which is how the Xeon MP's DTLB is
+    configured.
+    """
+
+    def __init__(self, config: TlbConfig):
+        self.config = config
+        cache_config = CacheConfig(
+            name="TLB",
+            size_bytes=config.entries * config.page_bytes,
+            line_bytes=config.page_bytes,
+            associativity=config.associativity,
+        )
+        self._cache = SetAssociativeCache(cache_config)
+
+    def access(self, address: int) -> bool:
+        """Translate ``address``; returns True on TLB hit."""
+        return self._cache.access(address).hit
+
+    def flush(self) -> int:
+        """Full TLB flush (address-space switch); returns entries dropped."""
+        return self._cache.flush()
+
+    @property
+    def accesses(self) -> int:
+        return self._cache.accesses
+
+    @property
+    def misses(self) -> int:
+        return self._cache.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self._cache.miss_rate
+
+    def reset_stats(self) -> None:
+        self._cache.reset_stats()

@@ -1,0 +1,45 @@
+"""The ODB workload: an order-entry OLTP benchmark (Section 3.1).
+
+ODB simulates an order-entry business: a collection of warehouses, each
+supplying ten sales districts of three thousand customers, against which
+clients run five transaction types (entering and delivering orders,
+recording payments, order-status and stock-level checks).
+
+- :mod:`~repro.odb.schema` — database sizing: ~100 MB per warehouse
+  including indices, a global item catalog, two 25 GB log files.
+- :mod:`~repro.odb.transactions` — the five transaction profiles: block
+  touches, lock keys, user instruction path lengths.
+- :mod:`~repro.odb.mix` — the weighted transaction mix.
+- :mod:`~repro.odb.client` — client/server process pairs driving the
+  database engine.
+- :mod:`~repro.odb.system` — the assembled testbed: one call builds the
+  machine, OS, database, and clients, runs warm-up plus a measurement
+  window, and returns system-level metrics.
+
+ODB is *not* a compliant TPC-C benchmark (neither was the paper's).
+"""
+
+from repro.odb.schema import OdbSchema, odb_segments
+from repro.odb.transactions import (
+    TouchSpec,
+    TransactionPlan,
+    TransactionProfile,
+    STANDARD_PROFILES,
+    plan_transaction,
+)
+from repro.odb.mix import TransactionMix
+from repro.odb.system import OdbConfig, OdbSystem, SystemMetrics
+
+__all__ = [
+    "OdbSchema",
+    "odb_segments",
+    "TouchSpec",
+    "TransactionPlan",
+    "TransactionProfile",
+    "STANDARD_PROFILES",
+    "plan_transaction",
+    "TransactionMix",
+    "OdbConfig",
+    "OdbSystem",
+    "SystemMetrics",
+]

@@ -1,0 +1,49 @@
+"""Client / server process pairs.
+
+In ODB a user process submits transactions and an Oracle server process
+executes them (Figure 1).  At the fidelity of this model the pair
+collapses into one simulation process per client that plans a
+transaction, acquires a CPU, and walks the plan through the database
+engine: lock, touch blocks (blocking on buffer misses), commit.
+
+Clients run with zero think time — the paper controls CPU utilization
+purely through the number of concurrent clients (Section 3.2.1).
+"""
+
+from __future__ import annotations
+
+from repro.db.engine import TransactionStats
+from repro.odb.transactions import plan_transaction
+
+
+def client_process(system, client_id: int):
+    """The per-client main loop; runs forever (the system bounds time)."""
+    scheduler = system.scheduler
+    db = system.db
+    rng = system.streams.stream(f"client-{client_id}")
+    sequence = 0
+    while True:
+        profile = system.mix.pick(rng)
+        plan = plan_transaction(rng, profile, system.sampler,
+                                system.config.warehouses,
+                                remote_prob=system.config.remote_touch_prob)
+        owner = (client_id, sequence)
+        sequence += 1
+        stats = TransactionStats()
+        claim = scheduler.acquire()
+        yield claim
+        # Hot-row locks first, in plan order (fixed order: no deadlock).
+        for key in plan.lock_keys:
+            claim = yield from db.lock(claim, owner, key, stats)
+        # User work interleaved with block touches.
+        chunk = profile.user_instructions / (len(plan.touches) + 1)
+        for block_id, write in plan.touches:
+            yield from scheduler.execute_user(chunk)
+            claim = yield from db.access_block(claim, block_id, write, stats)
+        yield from scheduler.execute_user(chunk)
+        # Per-transaction kernel baseline (IPC with the client, timers).
+        yield from scheduler.execute_os(scheduler.costs.base_per_txn)
+        claim = yield from db.commit(claim, owner, stats,
+                                     redo_bytes=profile.redo_bytes)
+        scheduler.release(claim)
+        system.note_transaction(profile, stats)

@@ -1,0 +1,44 @@
+"""Weighted transaction mix."""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.odb.transactions import STANDARD_PROFILES, TransactionProfile
+
+
+class TransactionMix:
+    """Samples transaction types by weight."""
+
+    def __init__(self, profiles: tuple[TransactionProfile, ...] = STANDARD_PROFILES):
+        if not profiles:
+            raise ValueError("mix needs at least one profile")
+        self.profiles = profiles
+        total = sum(p.weight for p in profiles)
+        if total <= 0:
+            raise ValueError("mix weights must sum to a positive value")
+        self._cdf: list[float] = []
+        running = 0.0
+        for profile in profiles:
+            running += profile.weight / total
+            self._cdf.append(running)
+        self._cdf[-1] = 1.0
+
+    def pick(self, rng: Random) -> TransactionProfile:
+        u = rng.random()
+        for probability, profile in zip(self._cdf, self.profiles):
+            if u <= probability:
+                return profile
+        return self.profiles[-1]
+
+    def by_name(self, name: str) -> TransactionProfile:
+        for profile in self.profiles:
+            if profile.name == name:
+                return profile
+        known = ", ".join(p.name for p in self.profiles)
+        raise KeyError(f"unknown transaction {name!r}; known: {known}")
+
+    def share_of(self, name: str) -> float:
+        """Normalized weight of one transaction type."""
+        total = sum(p.weight for p in self.profiles)
+        return self.by_name(name).weight / total

@@ -1,0 +1,221 @@
+"""The five ODB transaction types.
+
+Each profile lists the block-unit touches a transaction makes (per
+segment, with a popularity skew), the hot-row locks it takes (held to
+commit), its user-space instruction path length, and its redo volume.
+The weighted mix averages to the paper's observations: ~6 KB of redo per
+transaction and a user path length that does not depend on W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from repro.db.blocks import BlockSpace
+from repro.sim.randomness import sample_cdf, zipf_cdf
+
+
+@dataclass(frozen=True)
+class TouchSpec:
+    """Block touches against one segment."""
+
+    segment: str
+    count: int
+    write_prob: float = 0.0
+    #: Zipf skew of unit popularity within the segment.
+    skew: float = 0.5
+    #: Append-mostly segments (orders, history): touches cluster in a
+    #: small rolling window rather than spreading over the segment.
+    append_hot: bool = False
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("touch count must be positive")
+        if not 0.0 <= self.write_prob <= 1.0:
+            raise ValueError("write_prob must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class TransactionProfile:
+    """One ODB transaction type."""
+
+    name: str
+    weight: float
+    user_instructions: float
+    touches: tuple[TouchSpec, ...]
+    #: Hot-row locks taken at start, held to commit.
+    locks_warehouse_row: bool = False
+    locks_district_row: bool = False
+    redo_bytes: float = 6 * 1024
+    #: Districts involved (Delivery processes all ten).
+    districts_touched: int = 1
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0 or self.user_instructions <= 0:
+            raise ValueError("weight and instructions must be positive")
+        if not self.touches:
+            raise ValueError("a transaction must touch at least one block")
+
+
+@dataclass(frozen=True)
+class TransactionPlan:
+    """A concrete transaction instance: what to lock and touch."""
+
+    profile: TransactionProfile
+    warehouse: int
+    district: int
+    lock_keys: tuple[tuple, ...]
+    #: (block_id, is_write) in access order.
+    touches: tuple[tuple[int, bool], ...]
+
+
+#: The standard ODB mix (TPC-C-like weights).  User path lengths are
+#: per-type calibration constants whose mix-weighted mean lands near the
+#: paper's ~1.2M user instructions per transaction (Figure 5).
+STANDARD_PROFILES: tuple[TransactionProfile, ...] = (
+    TransactionProfile(
+        name="new_order",
+        weight=0.45,
+        user_instructions=1.45e6,
+        touches=(
+            TouchSpec("district", 1, write_prob=1.0),
+            TouchSpec("item", 3, skew=0.8),
+            TouchSpec("stock", 9, write_prob=0.9, skew=0.55),
+            TouchSpec("customer", 1, skew=0.7),
+            TouchSpec("orders", 2, write_prob=1.0, append_hot=True),
+            TouchSpec("order_line", 2, write_prob=1.0, append_hot=True),
+            TouchSpec("new_order", 1, write_prob=1.0, append_hot=True),
+        ),
+        locks_district_row=True,
+        redo_bytes=7.5 * 1024,
+    ),
+    TransactionProfile(
+        name="payment",
+        weight=0.43,
+        user_instructions=0.85e6,
+        touches=(
+            TouchSpec("warehouse", 1, write_prob=1.0),
+            TouchSpec("district", 1, write_prob=1.0),
+            TouchSpec("customer", 2, write_prob=0.5, skew=0.7),
+            TouchSpec("history", 1, write_prob=1.0, append_hot=True),
+        ),
+        locks_warehouse_row=True,
+        locks_district_row=True,
+        redo_bytes=4.5 * 1024,
+    ),
+    TransactionProfile(
+        name="order_status",
+        weight=0.04,
+        user_instructions=0.6e6,
+        touches=(
+            TouchSpec("customer", 2, skew=0.7),
+            TouchSpec("orders", 2, append_hot=True),
+            TouchSpec("order_line", 2, append_hot=True),
+        ),
+        redo_bytes=0.3 * 1024,
+    ),
+    TransactionProfile(
+        name="delivery",
+        weight=0.04,
+        user_instructions=2.4e6,
+        touches=(
+            TouchSpec("new_order", 2, write_prob=1.0, append_hot=True),
+            TouchSpec("orders", 6, write_prob=1.0, append_hot=True),
+            TouchSpec("order_line", 4, write_prob=0.8, append_hot=True),
+            TouchSpec("customer", 6, write_prob=1.0, skew=0.55),
+        ),
+        districts_touched=10,
+        redo_bytes=9.0 * 1024,
+    ),
+    TransactionProfile(
+        name="stock_level",
+        weight=0.04,
+        user_instructions=1.5e6,
+        touches=(
+            TouchSpec("district", 1),
+            TouchSpec("order_line", 4, append_hot=True),
+            TouchSpec("stock", 12, skew=0.55),
+        ),
+        redo_bytes=0.3 * 1024,
+    ),
+)
+
+
+def mean_user_instructions(
+        profiles: tuple[TransactionProfile, ...] = STANDARD_PROFILES) -> float:
+    """Mix-weighted mean user path length."""
+    total_weight = sum(p.weight for p in profiles)
+    return sum(p.weight * p.user_instructions for p in profiles) / total_weight
+
+
+def mean_redo_bytes(
+        profiles: tuple[TransactionProfile, ...] = STANDARD_PROFILES) -> float:
+    """Mix-weighted mean redo volume (the paper's ~6 KB)."""
+    total_weight = sum(p.weight for p in profiles)
+    return sum(p.weight * p.redo_bytes for p in profiles) / total_weight
+
+
+class _SegmentSampler:
+    """Cached Zipf CDFs per (segment, skew) for block picking."""
+
+    def __init__(self, space: BlockSpace):
+        self.space = space
+        self._cdfs: dict[tuple[str, float], list[float]] = {}
+
+    def pick(self, rng: Random, spec: TouchSpec, warehouse: int) -> int:
+        segment = self.space.segment(spec.segment)
+        if spec.append_hot:
+            # A rolling append window: the hottest ~2% of the segment
+            # (at least 4 units), strongly skewed.
+            window = max(4, segment.units // 50)
+            key = (spec.segment, -1.0)
+            cdf = self._cdfs.get(key)
+            if cdf is None:
+                cdf = zipf_cdf(window, 1.2)
+                self._cdfs[key] = cdf
+            index = sample_cdf(rng, cdf) % segment.units
+        else:
+            key = (spec.segment, spec.skew)
+            cdf = self._cdfs.get(key)
+            if cdf is None:
+                cdf = zipf_cdf(segment.units, spec.skew)
+                self._cdfs[key] = cdf
+            index = sample_cdf(rng, cdf)
+        return self.space.block_id(spec.segment, warehouse, index)
+
+
+def plan_transaction(rng: Random, profile: TransactionProfile,
+                     sampler: _SegmentSampler, warehouses: int,
+                     remote_prob: float = 0.10) -> TransactionPlan:
+    """Instantiate a transaction: pick warehouse, district, blocks, locks.
+
+    ``remote_prob`` is the chance any given touch goes to a remote
+    warehouse (TPC-C's remote order lines / customer payments).
+    """
+    space = sampler.space
+    warehouse = rng.randrange(warehouses)
+    district = rng.randrange(10)
+    lock_keys: list[tuple] = []
+    if profile.locks_warehouse_row:
+        lock_keys.append(("wh", warehouse))
+    if profile.locks_district_row:
+        # Block-granular: all ten district rows share one block unit, so
+        # updates contend per warehouse (Oracle buffer-level contention),
+        # which is what makes tiny databases switch-heavy.
+        lock_keys.append(("dist", warehouse))
+    touches: list[tuple[int, bool]] = []
+    for spec in profile.touches:
+        for _ in range(spec.count):
+            target = warehouse
+            if warehouses > 1 and rng.random() < remote_prob:
+                target = rng.randrange(warehouses)
+            block = sampler.pick(rng, spec, target)
+            touches.append((block, rng.random() < spec.write_prob))
+    return TransactionPlan(
+        profile=profile,
+        warehouse=warehouse,
+        district=district,
+        lock_keys=tuple(lock_keys),
+        touches=tuple(touches),
+    )

@@ -1,0 +1,133 @@
+"""Disk array model.
+
+``D`` independent disks, each a FIFO-served single-slot resource with a
+lognormal service time.  Blocks are striped across disks by block id, so
+load spreads evenly; dedicated log disks serve the redo stream
+sequentially with a much shorter service time.
+
+Saturation of this array is what produces the paper's I/O-bound region:
+at 1200 warehouses the 26-disk array can no longer keep 4 processors at
+90% utilization (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.machine import DiskConfig
+from repro.sim import Engine, Resource
+from repro.sim.randomness import RandomStreams, lognormal_about
+from repro.sim.stats import Counter, Tally
+
+
+@dataclass(frozen=True)
+class DiskRequest:
+    """A completed disk request's accounting record."""
+
+    disk: int
+    queued_s: float
+    service_s: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.queued_s + self.service_s
+
+
+class DiskArray:
+    """A striped array of data disks plus dedicated log disks."""
+
+    #: Fraction of the disk service time for a sequential log append.
+    LOG_SERVICE_FACTOR = 0.15
+    #: Fraction of the read service time for an asynchronous data write:
+    #: the controller's write cache and elevator scheduling batch them.
+    WRITE_SERVICE_FACTOR = 0.25
+
+    def __init__(self, engine: Engine, config: DiskConfig,
+                 streams: RandomStreams, log_disks: int = 2):
+        if log_disks < 0 or log_disks >= config.count:
+            raise ValueError(
+                f"log_disks must be in [0, {config.count}), got {log_disks}")
+        self.engine = engine
+        self.config = config
+        self.data_disk_count = config.count - log_disks
+        self.log_disk_count = log_disks
+        self._data_disks = [Resource(engine, 1, name=f"disk{i}")
+                            for i in range(self.data_disk_count)]
+        self._log_disks = [Resource(engine, 1, name=f"logdisk{i}")
+                           for i in range(log_disks)]
+        self._rng = streams.stream("disk-service")
+        self.reads = Counter("disk-reads")
+        self.writes = Counter("disk-writes")
+        self.log_writes = Counter("log-writes")
+        self.read_latency = Tally("read-latency")
+        self.write_latency = Tally("write-latency")
+        self._log_seq = 0
+
+    # -- operations (simulation processes) ----------------------------------
+
+    def read(self, block_id: int):
+        """Blocking read of a data block; yields until the data is in memory."""
+        index = block_id % self.data_disk_count
+        request = yield from self._serve(self._data_disks[index], index)
+        self.reads.add()
+        self.read_latency.record(request.latency_s)
+        return request
+
+    def write(self, block_id: int):
+        """Write of a data block (the caller decides whether to wait)."""
+        index = block_id % self.data_disk_count
+        request = yield from self._serve(self._data_disks[index], index,
+                                         self.WRITE_SERVICE_FACTOR)
+        self.writes.add()
+        self.write_latency.record(request.latency_s)
+        return request
+
+    def log_append(self):
+        """Sequential append to the redo log (round-robin over log disks).
+
+        Falls back to the data disks when no dedicated log disks exist.
+        """
+        self._log_seq += 1
+        if self._log_disks:
+            index = self._log_seq % self.log_disk_count
+            disk = self._log_disks[index]
+        else:
+            index = self._log_seq % self.data_disk_count
+            disk = self._data_disks[index]
+        request = yield from self._serve(disk, index, self.LOG_SERVICE_FACTOR)
+        self.log_writes.add()
+        return request
+
+    def _serve(self, disk: Resource, index: int, service_factor: float = 1.0):
+        arrived = self.engine.now
+        claim = disk.request()
+        yield claim
+        queued = self.engine.now - arrived
+        service = service_factor * lognormal_about(
+            self._rng, self.config.service_time_s, self.config.service_time_cv)
+        yield self.engine.timeout(service)
+        disk.release(claim)
+        return DiskRequest(disk=index, queued_s=queued, service_s=service)
+
+    # -- statistics ----------------------------------------------------------
+
+    def data_utilization(self, elapsed: float | None = None) -> float:
+        """Mean busy fraction across the data disks."""
+        if elapsed is None:
+            elapsed = self.engine.now
+        if elapsed <= 0:
+            return 0.0
+        busy = sum(disk.busy_time() for disk in self._data_disks)
+        return busy / (self.data_disk_count * elapsed)
+
+    def max_data_utilization(self, elapsed: float | None = None) -> float:
+        """Busy fraction of the hottest data disk (saturation indicator)."""
+        if elapsed is None:
+            elapsed = self.engine.now
+        if elapsed <= 0:
+            return 0.0
+        return max(disk.busy_time() for disk in self._data_disks) / elapsed
+
+    @property
+    def total_queue_length(self) -> int:
+        return sum(d.queue_length for d in self._data_disks + self._log_disks)

@@ -1,0 +1,263 @@
+"""Event loop and clock for the discrete-event simulation kernel.
+
+The engine keeps a binary heap of ``(time, priority, sequence, event)``
+tuples.  Each :class:`Event` carries a list of callbacks that fire when the
+event is processed; :class:`~repro.sim.process.Process` resumption is just
+another callback.  The design mirrors simpy's core but is intentionally
+smaller: no real-time support, no nested environments.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+#: Priority for events that must run before ordinary events at the same time
+#: (used internally for process interrupts).
+URGENT = 0
+#: Default event priority.
+NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double trigger, running a dead engine...)."""
+
+
+class Event:
+    """A waitable, one-shot occurrence on the simulation timeline.
+
+    An event has three observable states: *pending* (created, not yet
+    triggered), *triggered* (scheduled on the engine's heap with a value),
+    and *processed* (callbacks have run).  Processes wait on events by
+    yielding them.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a value."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """False when the event carries a failure (an exception value)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with."""
+        if not self._triggered:
+            raise SimulationError("value read from an untriggered event")
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        self.engine._schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception to raise in waiters."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.engine._schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately, so late waiters are never lost.
+        """
+        if self._processed:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _process(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        engine._schedule(self, delay=delay)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf: completes based on a set of child events."""
+
+    __slots__ = ("events", "_completed")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self.events = list(events)
+        self._completed = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._completed += 1
+        if self._satisfied():
+            self.succeed(self._result())
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _result(self) -> dict:
+        # Only children whose callbacks have run count as completed;
+        # Timeout events are "triggered" from creation, so the weaker
+        # check would leak still-pending timeouts into the result.
+        return {
+            index: event.value
+            for index, event in enumerate(self.events)
+            if event.processed and event.ok
+        }
+
+
+class AllOf(_Condition):
+    """Completes when every child event has completed."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._completed == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Completes when at least one child event has completed."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._completed >= 1
+
+
+class Engine:
+    """The simulation event loop.
+
+    >>> engine = Engine()
+    >>> def proc(engine):
+    ...     yield engine.timeout(5.0)
+    ...     return engine.now
+    >>> p = engine.process(proc(engine))
+    >>> engine.run()
+    >>> p.value
+    5.0
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a pending event to be triggered manually."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> "Process":
+        """Register a generator as a simulation process."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event completing when all ``events`` complete."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event completing when any of ``events`` completes."""
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._sequence, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the schedule drains or the clock reaches ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so time-weighted statistics
+        close their final interval consistently.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"run(until={until}) is in the past (now={self._now})")
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = until

@@ -1,0 +1,104 @@
+"""Deterministic, named random-number streams.
+
+Every stochastic element of the simulation (transaction mix, block
+selection, disk service time, ...) draws from its own named stream, so
+changing how often one component draws does not perturb any other
+component.  Streams are derived from a single root seed via stable string
+hashing, which keeps whole-system runs exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Sequence
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """A stable 64-bit seed for stream ``name`` under ``root_seed``.
+
+    Uses blake2b rather than ``hash()`` so results do not depend on
+    ``PYTHONHASHSEED``.
+    """
+    digest = hashlib.blake2b(
+        f"{root_seed}:{name}".encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class RandomStreams:
+    """A factory of independently seeded :class:`random.Random` streams."""
+
+    def __init__(self, root_seed: int):
+        self.root_seed = root_seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """The stream for ``name``, created on first use."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(derive_seed(self.root_seed, name))
+            self._streams[name] = stream
+        return stream
+
+    def fork(self, name: str) -> "RandomStreams":
+        """A child factory whose streams are independent of this one's."""
+        return RandomStreams(derive_seed(self.root_seed, f"fork:{name}"))
+
+
+def zipf_cdf(n: int, skew: float) -> list[float]:
+    """Cumulative distribution of a Zipf(``skew``) law over ``1..n``.
+
+    Used for skewed block popularity inside a warehouse: a small set of
+    blocks (index roots, hot rows) absorbs most references.
+    """
+    if n < 1:
+        raise ValueError("zipf_cdf needs n >= 1")
+    if skew < 0:
+        raise ValueError("zipf skew must be >= 0")
+    weights = [1.0 / (rank ** skew) for rank in range(1, n + 1)]
+    total = sum(weights)
+    cdf = []
+    running = 0.0
+    for weight in weights:
+        running += weight
+        cdf.append(running / total)
+    cdf[-1] = 1.0
+    return cdf
+
+
+def sample_cdf(rng: random.Random, cdf: Sequence[float]) -> int:
+    """Sample an index ``0..len(cdf)-1`` from a cumulative distribution."""
+    u = rng.random()
+    lo, hi = 0, len(cdf) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if cdf[mid] < u:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def exponential(rng: random.Random, mean: float) -> float:
+    """Exponential variate with the given mean (0 mean -> always 0)."""
+    if mean < 0:
+        raise ValueError("exponential mean must be >= 0")
+    if mean == 0:
+        return 0.0
+    return rng.expovariate(1.0 / mean)
+
+
+def lognormal_about(rng: random.Random, mean: float, cv: float) -> float:
+    """Lognormal variate with arithmetic mean ``mean`` and coefficient of
+    variation ``cv`` — the shape used for disk service times.
+    """
+    if mean <= 0:
+        raise ValueError("lognormal mean must be > 0")
+    if cv < 0:
+        raise ValueError("coefficient of variation must be >= 0")
+    if cv == 0:
+        return mean
+    sigma2 = math.log(1.0 + cv * cv)
+    mu = math.log(mean) - sigma2 / 2.0
+    return rng.lognormvariate(mu, math.sqrt(sigma2))

@@ -1,0 +1,153 @@
+"""Statistics helpers for simulation outputs.
+
+Three shapes of measurement recur throughout the system model:
+
+- :class:`Counter` — monotonically increasing event counts (transactions
+  committed, context switches, disk reads) with support for interval
+  snapshots, which is what the EMON sampling layer consumes.
+- :class:`Tally` — mean/variance over discrete observations (latencies).
+- :class:`TimeWeighted` — mean of a piecewise-constant signal over time
+  (run-queue length, number of busy CPUs).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+
+class Counter:
+    """A named monotone event counter."""
+
+    __slots__ = ("name", "count")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} decremented by {amount}")
+        self.count += amount
+
+    def snapshot(self) -> float:
+        """Current value, for interval deltas taken by a sampler."""
+        return self.count
+
+
+class Tally:
+    """Streaming mean/variance (Welford) over discrete observations."""
+
+    __slots__ = ("name", "n", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def record(self, value: float) -> None:
+        self.n += 1
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant signal.
+
+    The signal's value changes are reported through :meth:`set`; the
+    integral is accrued lazily against a clock callable so the class does
+    not depend on the engine directly.
+    """
+
+    __slots__ = ("name", "_clock", "_value", "_last", "_area", "_start")
+
+    def __init__(self, clock: Callable[[], float], initial: float = 0.0,
+                 name: str = ""):
+        self.name = name
+        self._clock = clock
+        self._value = initial
+        self._start = clock()
+        self._last = self._start
+        self._area = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current signal value."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Change the signal value at the current time."""
+        self._accrue()
+        self._value = value
+
+    def adjust(self, delta: float) -> None:
+        """Increment/decrement the signal value at the current time."""
+        self.set(self._value + delta)
+
+    def mean(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean from creation until ``until`` (default now)."""
+        self._accrue()
+        end = self._clock() if until is None else until
+        elapsed = end - self._start
+        if elapsed <= 0:
+            return self._value
+        return self._area / elapsed
+
+    def _accrue(self) -> None:
+        now = self._clock()
+        self._area += self._value * (now - self._last)
+        self._last = now
+
+
+class IntervalWatcher:
+    """Delta extractor over a set of counters, for round-robin sampling.
+
+    The EMON layer measures one event group at a time for a fixed interval;
+    this helper captures counter values at interval open and close and
+    reports the per-second rate.
+    """
+
+    def __init__(self, clock: Callable[[], float]):
+        self._clock = clock
+        self._open_values: dict[str, float] = {}
+        self._open_time: Optional[float] = None
+
+    def open(self, counters: dict[str, Counter]) -> None:
+        if self._open_time is not None:
+            raise RuntimeError("interval already open")
+        self._open_time = self._clock()
+        self._open_values = {name: c.snapshot() for name, c in counters.items()}
+
+    def close(self, counters: dict[str, Counter]) -> dict[str, float]:
+        """Return per-second rates for each watched counter."""
+        if self._open_time is None:
+            raise RuntimeError("interval not open")
+        elapsed = self._clock() - self._open_time
+        self._open_time = None
+        if elapsed <= 0:
+            return {name: 0.0 for name in self._open_values}
+        return {
+            name: (counters[name].snapshot() - value) / elapsed
+            for name, value in self._open_values.items()
+        }

@@ -1,0 +1,134 @@
+"""Tests for the Table 2-4 CPI decomposition and the bus fixed point."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cpi_model import compute_breakdown, solve_cpi
+from repro.hw.machine import ITANIUM2_QUAD, XEON_MP_QUAD
+from repro.hw.trace import MicroarchRates
+
+
+def rates(l3=0.008, l2=0.020, tc=0.006, tlb=0.003, branch=0.010,
+          user_l3=0.009, os_l3=0.005, wb=0.2, coh=0.05, ratio=0.5):
+    return MicroarchRates(
+        mispredicts_per_instr=branch,
+        tlb_misses_per_instr=tlb,
+        tc_misses_per_instr=tc,
+        l2_misses_per_instr=l2,
+        l3_misses_per_instr=l3,
+        user_l3_mpi=user_l3,
+        os_l3_mpi=os_l3,
+        l3_writeback_ratio=wb,
+        coherence_miss_fraction=coh,
+        l3_miss_ratio=ratio,
+    )
+
+
+class TestComputeBreakdown:
+    def test_table4_formulas_exactly(self):
+        r = rates()
+        breakdown = compute_breakdown(r, XEON_MP_QUAD,
+                                      bus_transaction_time=102.0)
+        assert breakdown.inst == 0.5
+        assert breakdown.branch == pytest.approx(0.010 * 20)
+        assert breakdown.tlb == pytest.approx(0.003 * 20)
+        assert breakdown.tc == pytest.approx(0.006 * 20)
+        assert breakdown.l2 == pytest.approx((0.020 - 0.008) * 16)
+        assert breakdown.l3 == pytest.approx(0.008 * 300)  # no bus excess
+        assert breakdown.other == XEON_MP_QUAD.other_cpi
+
+    def test_bus_excess_lengthens_l3(self):
+        r = rates()
+        loaded = compute_breakdown(r, XEON_MP_QUAD,
+                                   bus_transaction_time=152.0)
+        assert loaded.l3 == pytest.approx(0.008 * (300 + 50))
+
+    def test_total_is_component_sum(self):
+        breakdown = compute_breakdown(rates(), XEON_MP_QUAD, 120.0)
+        assert breakdown.total == pytest.approx(
+            sum(breakdown.as_dict().values()))
+        assert breakdown.computed == pytest.approx(
+            breakdown.total - breakdown.other)
+
+    def test_fraction(self):
+        breakdown = compute_breakdown(rates(), XEON_MP_QUAD, 102.0)
+        assert breakdown.fraction("l3") == pytest.approx(
+            breakdown.l3 / breakdown.total)
+
+    def test_bus_time_below_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            compute_breakdown(rates(), XEON_MP_QUAD, 50.0)
+
+    def test_custom_other(self):
+        breakdown = compute_breakdown(rates(), XEON_MP_QUAD, 102.0,
+                                      other_cpi=1.0)
+        assert breakdown.other == 1.0
+
+
+class TestSolveCpi:
+    def test_converges(self):
+        solution = solve_cpi(rates(), XEON_MP_QUAD, processors=4)
+        assert solution.iterations < 50
+        assert solution.cpi > 0
+        # At the fixed point the breakdown total equals the CPI.
+        assert solution.cpi == pytest.approx(solution.breakdown.total)
+
+    def test_more_processors_raise_cpi(self):
+        r = rates()
+        one = solve_cpi(r, XEON_MP_QUAD, processors=1)
+        four = solve_cpi(r, XEON_MP_QUAD, processors=4)
+        assert four.cpi > one.cpi
+        assert four.bus_utilization > one.bus_utilization
+        assert four.bus_transaction_time > one.bus_transaction_time
+
+    def test_self_consistent_bus_load(self):
+        solution = solve_cpi(rates(), XEON_MP_QUAD, processors=4)
+        from repro.hw.bus import BusModel
+
+        bus = BusModel(XEON_MP_QUAD.bus)
+        load = bus.load_for(rates().l3_misses_per_instr, solution.cpi, 4,
+                            rates().l3_writeback_ratio)
+        assert load.utilization == pytest.approx(solution.bus_utilization,
+                                                 abs=1e-6)
+
+    def test_user_os_cpi_reflect_space_mpi(self):
+        solution = solve_cpi(rates(user_l3=0.012, os_l3=0.004),
+                             XEON_MP_QUAD, processors=2)
+        assert solution.user_cpi > solution.os_cpi
+
+    def test_zero_misses_floor(self):
+        r = rates(l3=0.0, l2=0.0, tc=0.0, tlb=0.0, branch=0.0,
+                  user_l3=0.0, os_l3=0.0, wb=0.0, ratio=0.0)
+        solution = solve_cpi(r, XEON_MP_QUAD, processors=4)
+        assert solution.cpi == pytest.approx(0.5 + XEON_MP_QUAD.other_cpi)
+        assert solution.bus_utilization == pytest.approx(0.0)
+
+    def test_l3_share(self):
+        solution = solve_cpi(rates(), XEON_MP_QUAD, processors=4)
+        assert solution.l3_share == pytest.approx(
+            solution.breakdown.l3 / solution.cpi)
+
+    def test_processors_validated(self):
+        with pytest.raises(ValueError):
+            solve_cpi(rates(), XEON_MP_QUAD, processors=0)
+
+    def test_itanium_bus_lighter(self):
+        r = rates()
+        xeon = solve_cpi(r, XEON_MP_QUAD, processors=4)
+        itanium = solve_cpi(r, ITANIUM2_QUAD, processors=4)
+        assert itanium.bus_utilization < xeon.bus_utilization
+
+    @given(st.floats(min_value=0.0005, max_value=0.02),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_fixed_point_property(self, l3_mpi, processors):
+        r = rates(l3=l3_mpi, l2=l3_mpi * 2.5,
+                  user_l3=l3_mpi * 1.1, os_l3=l3_mpi * 0.7)
+        solution = solve_cpi(r, XEON_MP_QUAD, processors=processors)
+        # Re-applying the map at the solution changes nothing.
+        breakdown = compute_breakdown(r, XEON_MP_QUAD,
+                                      solution.bus_transaction_time)
+        assert breakdown.total == pytest.approx(solution.cpi, rel=1e-6)

@@ -1,0 +1,73 @@
+"""Tests for the iron law of database performance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ironlaw import DatabaseIronLaw, tps
+
+
+class TestTps:
+    def test_paper_formula(self):
+        # TPS = P*F/(IPX*CPI)
+        assert tps(4, 1.6e9, 1.6e6, 4.0) == pytest.approx(1000.0)
+
+    def test_scales_linearly_with_processors(self):
+        one = tps(1, 1.6e9, 1.5e6, 3.0)
+        four = tps(4, 1.6e9, 1.5e6, 3.0)
+        assert four == pytest.approx(4 * one)
+
+    def test_inverse_in_ipx_and_cpi(self):
+        base = tps(2, 1.6e9, 1e6, 2.0)
+        assert tps(2, 1.6e9, 2e6, 2.0) == pytest.approx(base / 2)
+        assert tps(2, 1.6e9, 1e6, 4.0) == pytest.approx(base / 2)
+
+    def test_validation(self):
+        for bad in [
+            dict(processors=0), dict(frequency_hz=0), dict(ipx=0),
+            dict(cpi=0),
+        ]:
+            kwargs = dict(processors=2, frequency_hz=1e9, ipx=1e6, cpi=2.0)
+            kwargs.update(bad)
+            with pytest.raises(ValueError):
+                tps(**kwargs)
+
+    @given(st.integers(1, 64),
+           st.floats(min_value=1e8, max_value=1e10),
+           st.floats(min_value=1e4, max_value=1e8),
+           st.floats(min_value=0.5, max_value=20))
+    @settings(max_examples=100, deadline=None)
+    def test_always_positive(self, p, f, ipx, cpi):
+        assert tps(p, f, ipx, cpi) > 0
+
+
+class TestDatabaseIronLaw:
+    def test_derived_quantities(self):
+        law = DatabaseIronLaw(processors=4, frequency_hz=1.6e9,
+                              ipx=1.6e6, cpi=4.0)
+        assert law.tps == pytest.approx(1000.0)
+        assert law.tps_per_cpu == pytest.approx(250.0)
+        assert law.cycles_per_transaction == pytest.approx(6.4e6)
+        assert law.seconds_per_transaction == pytest.approx(0.004)
+
+    def test_from_measured_tps_recovers_cpi(self):
+        law = DatabaseIronLaw.from_measured_tps(
+            processors=4, frequency_hz=1.6e9, ipx=1.6e6, measured_tps=1000.0)
+        assert law.cpi == pytest.approx(4.0)
+
+    def test_from_measured_tps_validation(self):
+        with pytest.raises(ValueError):
+            DatabaseIronLaw.from_measured_tps(4, 1.6e9, 1.6e6, 0.0)
+
+    def test_speedup(self):
+        slow = DatabaseIronLaw(1, 1.6e9, 1.6e6, 4.0)
+        fast = DatabaseIronLaw(4, 1.6e9, 1.6e6, 4.0)
+        assert fast.speedup_from(slow) == pytest.approx(4.0)
+
+    @given(st.floats(min_value=1e5, max_value=1e7),
+           st.floats(min_value=1.0, max_value=10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, ipx, cpi):
+        law = DatabaseIronLaw(2, 1.6e9, ipx, cpi)
+        recovered = DatabaseIronLaw.from_measured_tps(2, 1.6e9, ipx, law.tps)
+        assert recovered.cpi == pytest.approx(cpi, rel=1e-9)

@@ -1,0 +1,122 @@
+"""Tests for linear and two-segment piecewise fitting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regression import fit_line, fit_two_segments
+
+
+class TestFitLine:
+    def test_exact_line(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [3.0, 5.0, 7.0, 9.0]
+        fit = fit_line(xs, ys)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_line([0.0, 1.0], [1.0, 3.0])
+        assert fit.predict(10.0) == pytest.approx(21.0)
+
+    def test_flat_line(self):
+        fit = fit_line([1.0, 2.0, 3.0], [5.0, 5.0, 5.0])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == 1.0  # zero variance convention
+
+    def test_noisy_line_r2_below_one(self):
+        fit = fit_line([0, 1, 2, 3], [0.0, 1.2, 1.8, 3.1])
+        assert 0.9 < fit.r_squared < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_line([1.0], [2.0])
+        with pytest.raises(ValueError):
+            fit_line([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_line([2.0, 2.0], [1.0, 3.0])  # vertical
+
+    @given(st.floats(-5, 5), st.floats(-100, 100),
+           st.lists(st.integers(-50, 50), min_size=2, max_size=40,
+                    unique=True))
+    @settings(max_examples=100, deadline=None)
+    def test_recovers_exact_lines(self, slope, intercept, xs):
+        xs = [float(x) for x in xs]
+        ys = [slope * x + intercept for x in xs]
+        fit = fit_line(xs, ys)
+        assert fit.slope == pytest.approx(slope, abs=1e-6)
+        assert fit.intercept == pytest.approx(intercept, abs=1e-5)
+
+    def test_residual_sse(self):
+        fit = fit_line([0.0, 1.0, 2.0], [0.0, 1.0, 2.0])
+        assert fit.residual_sse([3.0], [4.0]) == pytest.approx(1.0)
+
+
+class TestFitTwoSegments:
+    def piecewise_points(self, knee=100.0, slope1=0.02, slope2=0.002):
+        xs = [10, 25, 50, 75, 100, 150, 200, 400, 600, 800]
+        base = 2.0
+        ys = []
+        for x in xs:
+            if x <= knee:
+                ys.append(base + slope1 * x)
+            else:
+                ys.append(base + slope1 * knee + slope2 * (x - knee))
+        return [float(x) for x in xs], ys
+
+    def test_recovers_knee(self):
+        xs, ys = self.piecewise_points(knee=100.0)
+        fit = fit_two_segments(xs, ys)
+        assert fit.pivot_x == pytest.approx(100.0, rel=0.1)
+        assert fit.cached.slope > fit.scaled.slope
+
+    def test_predict_uses_correct_region(self):
+        xs, ys = self.piecewise_points()
+        fit = fit_two_segments(xs, ys)
+        assert fit.predict(20.0) == pytest.approx(2.0 + 0.02 * 20, rel=0.05)
+        assert fit.predict(700.0) == pytest.approx(
+            2.0 + 0.02 * 100 + 0.002 * 600, rel=0.05)
+
+    def test_sse_near_zero_for_exact_piecewise(self):
+        xs, ys = self.piecewise_points()
+        fit = fit_two_segments(xs, ys)
+        assert fit.sse < 1e-6
+
+    def test_parallel_segments_have_no_pivot(self):
+        xs = [1.0, 2.0, 3.0, 10.0, 11.0, 12.0]
+        ys = [1.0, 2.0, 3.0, 6.0, 7.0, 8.0]  # same slope, offset jump
+        fit = fit_two_segments(xs, ys)
+        assert fit.pivot_x is None
+
+    def test_unsorted_input_handled(self):
+        xs, ys = self.piecewise_points()
+        pairs = list(zip(xs, ys))
+        pairs.reverse()
+        fit = fit_two_segments([p[0] for p in pairs], [p[1] for p in pairs])
+        assert fit.pivot_x == pytest.approx(100.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_two_segments([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            fit_two_segments([1.0, 2.0], [1.0])
+
+    @given(st.floats(30, 300), st.floats(0.01, 0.1), st.floats(0.0, 0.005))
+    @settings(max_examples=60, deadline=None)
+    def test_pivot_recovery_property(self, knee, slope1, slope2):
+        xs = [10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0, 1280.0]
+        ys = []
+        for x in xs:
+            if x <= knee:
+                ys.append(1.0 + slope1 * x)
+            else:
+                ys.append(1.0 + slope1 * knee + slope2 * (x - knee))
+        # Only meaningful when the knee separates >=2 points on each side
+        # and the slopes genuinely differ.
+        left = sum(1 for x in xs if x <= knee)
+        if left < 2 or len(xs) - left < 2 or abs(slope1 - slope2) < 1e-3:
+            return
+        fit = fit_two_segments(xs, ys)
+        assert fit.sse < 1e-9
+        assert fit.pivot_x == pytest.approx(knee, rel=0.35)

@@ -1,0 +1,95 @@
+"""Tests for the cross-layer validation checks."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.validation import (
+    ALL_CHECKS,
+    assert_valid,
+    check_busy_shares,
+    check_cpi_is_breakdown_sum,
+    check_iron_law,
+    check_log_volume,
+    check_miss_hierarchy,
+    check_switch_floor,
+    check_utilization_bounds,
+    validate_result,
+)
+from repro.experiments.configs import FAST_SETTINGS
+from repro.experiments.runner import run_configuration
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_configuration(50, 2, clients=5, settings=FAST_SETTINGS)
+
+
+class TestChecksOnRealResult:
+    def test_every_invariant_holds(self, result):
+        outcomes = validate_result(result)
+        failures = [c for c in outcomes if not c.passed]
+        assert not failures, "\n".join(str(c) for c in failures)
+        assert len(outcomes) == len(ALL_CHECKS)
+
+    def test_assert_valid_passes(self, result):
+        assert_valid(result)
+
+
+class TestChecksCatchViolations:
+    def test_iron_law_catches_tps_mismatch(self, result):
+        broken = dataclasses.replace(
+            result, system=dataclasses.replace(result.system,
+                                               tps=result.tps * 2))
+        assert not check_iron_law(broken).passed
+
+    def test_iron_law_skips_unknown_machine(self, result):
+        odd = dataclasses.replace(result, machine="mystery-box")
+        check = check_iron_law(odd)
+        assert check.passed and "skipped" in check.detail
+
+    def test_breakdown_sum_catches_drift(self, result):
+        broken = dataclasses.replace(
+            result, cpi=dataclasses.replace(result.cpi,
+                                            cpi=result.cpi.cpi + 1.0))
+        assert not check_cpi_is_breakdown_sum(broken).passed
+
+    def test_miss_hierarchy_catches_inversion(self, result):
+        broken_rates = dataclasses.replace(
+            result.rates,
+            l3_misses_per_instr=result.rates.l2_misses_per_instr * 2)
+        broken = dataclasses.replace(result, rates=broken_rates)
+        assert not check_miss_hierarchy(broken).passed
+
+    def test_busy_shares_catch_bad_split(self, result):
+        broken = dataclasses.replace(
+            result, system=dataclasses.replace(result.system,
+                                               os_busy_share=0.5,
+                                               user_busy_share=0.9))
+        assert not check_busy_shares(broken).passed
+
+    def test_switch_floor_catches_missing_switches(self, result):
+        broken = dataclasses.replace(
+            result, system=dataclasses.replace(
+                result.system, reads_per_txn=10.0,
+                context_switches_per_txn=1.0))
+        assert not check_switch_floor(broken).passed
+
+    def test_utilization_bounds(self, result):
+        broken = dataclasses.replace(
+            result, system=dataclasses.replace(result.system,
+                                               cpu_utilization=1.4))
+        assert not check_utilization_bounds(broken).passed
+
+    def test_log_volume_band(self, result):
+        broken = dataclasses.replace(
+            result, system=dataclasses.replace(result.system,
+                                               log_bytes_per_txn=100.0))
+        assert not check_log_volume(broken).passed
+
+    def test_assert_valid_raises_with_names(self, result):
+        broken = dataclasses.replace(
+            result, system=dataclasses.replace(result.system,
+                                               log_bytes_per_txn=100.0))
+        with pytest.raises(AssertionError, match="log-volume"):
+            assert_valid(broken)

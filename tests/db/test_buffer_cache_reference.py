@@ -1,0 +1,76 @@
+"""Differential test: BufferCache against a brute-force LRU reference."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.buffer_cache import BufferCache
+
+
+class ReferenceLru:
+    """An obviously-correct LRU with dirty bits."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.entries: "OrderedDict[int, bool]" = OrderedDict()
+
+    def lookup(self, block: int, write: bool) -> bool:
+        if block in self.entries:
+            dirty = self.entries.pop(block)
+            self.entries[block] = dirty or write
+            return True
+        return False
+
+    def install(self, block: int, dirty: bool):
+        victim = None
+        if block not in self.entries and len(self.entries) >= self.capacity:
+            victim = self.entries.popitem(last=False)
+        if block in self.entries:
+            previous = self.entries.pop(block)
+            self.entries[block] = previous or dirty
+        else:
+            self.entries[block] = dirty
+        return victim
+
+
+operations = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=60), st.booleans()),
+    min_size=1, max_size=600)
+
+
+@given(st.integers(min_value=1, max_value=20), operations)
+@settings(max_examples=80, deadline=None)
+def test_buffer_cache_matches_reference(capacity, ops):
+    cache = BufferCache(capacity)
+    reference = ReferenceLru(capacity)
+    for block, write in ops:
+        hit = cache.touch_write(block) if write else cache.lookup(block)
+        ref_hit = reference.lookup(block, write)
+        assert hit == ref_hit, f"hit mismatch on block {block}"
+        if not hit:
+            victim = cache.install(block, dirty=write)
+            ref_victim = reference.install(block, write)
+            assert victim == ref_victim, f"victim mismatch on block {block}"
+    # Final state identical: same residents, same dirty bits, same order.
+    assert list(cache._lru.items()) == list(reference.entries.items())
+
+
+@given(st.integers(min_value=1, max_value=10), operations)
+@settings(max_examples=60, deadline=None)
+def test_clean_never_disturbs_order(capacity, ops):
+    cache = BufferCache(capacity)
+    reference = ReferenceLru(capacity)
+    for index, (block, write) in enumerate(ops):
+        hit = cache.touch_write(block) if write else cache.lookup(block)
+        reference.lookup(block, write)
+        if not hit:
+            cache.install(block, dirty=write)
+            reference.install(block, write)
+        if index % 7 == 0:
+            # Periodically clean the oldest dirty block in both models.
+            dirty = cache.oldest_dirty(1)
+            if dirty:
+                cache.clean(dirty[0])
+                reference.entries[dirty[0]] = False
+    assert list(cache._lru) == list(reference.entries)

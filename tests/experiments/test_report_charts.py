@@ -1,0 +1,96 @@
+"""Tests for text rendering and ASCII charts."""
+
+import pytest
+
+from repro.experiments.charts import render_chart
+from repro.experiments.report import render_series, render_table
+
+
+class TestRenderTable:
+    def test_contains_title_headers_and_cells(self):
+        text = render_table("My Title", ["a", "b"], [[1, 2.5], [30, "x"]])
+        assert "My Title" in text
+        assert "a" in text and "b" in text
+        assert "30" in text and "x" in text
+
+    def test_note_appended(self):
+        text = render_table("T", ["c"], [[1]], note="remember this")
+        assert text.endswith("remember this")
+
+    def test_float_formatting(self):
+        text = render_table("T", ["v"], [[1234.5], [0.123456], [1e-5], [0.0]])
+        assert "1,234" in text  # thousands separator
+        assert "0.123" in text
+        assert "1.00e-05" in text
+
+    def test_bool_formatting(self):
+        text = render_table("T", ["v"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_columns_aligned(self):
+        text = render_table("T", ["name", "v"], [["a", 1], ["bbbb", 22]])
+        data_lines = text.splitlines()[4:]
+        assert len({len(line) for line in data_lines}) == 1
+
+
+class TestRenderSeries:
+    def test_x_and_series_columns(self):
+        text = render_series("S", "W", [10, 20],
+                             {"tps": [100.0, 90.0], "cpi": [2.0, 3.0]})
+        assert "W" in text and "tps" in text and "cpi" in text
+        assert "90" in text
+
+    def test_rows_in_x_order(self):
+        text = render_series("S", "W", [10, 800], {"v": [1.0, 2.0]})
+        lines = text.splitlines()
+        assert lines[-2].lstrip().startswith("10")
+        assert lines[-1].lstrip().startswith("800")
+
+
+class TestRenderChart:
+    def test_basic_chart_structure(self):
+        text = render_chart("C", [0, 50, 100], {"y": [0.0, 5.0, 10.0]})
+        assert text.splitlines()[0] == "C"
+        assert "legend: o y" in text
+        assert "o" in text
+
+    def test_two_series_get_distinct_markers(self):
+        text = render_chart("C", [0, 100],
+                            {"a": [0.0, 1.0], "b": [1.0, 0.0]})
+        assert "o a" in text and "x b" in text
+        assert "o" in text and "x" in text
+
+    def test_axis_extremes_labeled(self):
+        text = render_chart("C", [10, 800], {"y": [2.0, 6.0]})
+        assert "10" in text and "800" in text
+        assert "6" in text  # y max label
+
+    def test_rising_series_is_rising_on_grid(self):
+        text = render_chart("C", [0, 100], {"y": [0.0, 10.0]},
+                            width=40, height=10)
+        rows = [line.split("|", 1)[1] for line in text.splitlines()
+                if "|" in line]
+        first_marker_rows = [i for i, row in enumerate(rows) if "o" in row]
+        # Top rows hold the right (high) end, bottom rows the left end.
+        top = rows[min(first_marker_rows)]
+        bottom = rows[max(first_marker_rows)]
+        assert top.rindex("o") > bottom.index("o")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_chart("C", [], {"y": []})
+        with pytest.raises(ValueError):
+            render_chart("C", [1], {})
+        with pytest.raises(ValueError):
+            render_chart("C", [1, 2], {"y": [1.0]})
+        with pytest.raises(ValueError):
+            render_chart("C", [1, 2], {"y": [1.0, 2.0]}, width=5)
+
+    def test_flat_series_does_not_crash(self):
+        text = render_chart("C", [0, 10], {"y": [3.0, 3.0]})
+        assert "o" in text
+
+    def test_labels_rendered(self):
+        text = render_chart("C", [0, 10], {"y": [0.0, 1.0]},
+                            y_label="CPI", x_label="warehouses")
+        assert "CPI" in text and "warehouses" in text

@@ -1,0 +1,77 @@
+"""Tests for runner utilities: fingerprints, sweep plumbing, caching."""
+
+import pytest
+
+from repro.experiments.configs import FAST_SETTINGS, RunnerSettings
+from repro.experiments.runner import (
+    run_configuration,
+    settings_fingerprint,
+    sweep,
+    utilization_for,
+)
+
+
+class TestSettingsFingerprint:
+    def test_stable(self):
+        assert settings_fingerprint(FAST_SETTINGS) == \
+            settings_fingerprint(FAST_SETTINGS)
+
+    def test_sensitive_to_every_field(self):
+        base = settings_fingerprint(FAST_SETTINGS)
+        import dataclasses
+
+        for field in ("warmup_txns", "measure_txns", "trace_txns",
+                      "trace_warmup", "fixed_point_rounds", "seed"):
+            changed = dataclasses.replace(
+                FAST_SETTINGS, **{field: getattr(FAST_SETTINGS, field) + 1})
+            assert settings_fingerprint(changed) != base, field
+
+    def test_short_hex(self):
+        fp = settings_fingerprint(FAST_SETTINGS)
+        assert len(fp) == 12
+        int(fp, 16)  # valid hex
+
+
+class TestSweepPlumbing:
+    def test_sweep_respects_clients_fn(self):
+        records = sweep((10, 50), 2, settings=FAST_SETTINGS,
+                        clients_fn=lambda w, p: 3)
+        assert all(r.clients == 3 for r in records)
+
+    def test_sweep_defaults_to_client_table(self):
+        from repro.experiments.configs import client_count
+
+        records = sweep((10,), 2, settings=FAST_SETTINGS)
+        assert records[0].clients == client_count(10, 2)
+
+    def test_sweep_preserves_grid_order(self):
+        records = sweep((50, 10), 1, settings=FAST_SETTINGS)
+        assert [r.warehouses for r in records] == [50, 10]
+
+    def test_utilization_for_matches_run(self):
+        util = utilization_for(10, 1, clients=2, settings=FAST_SETTINGS)
+        record = run_configuration(10, 1, clients=2, settings=FAST_SETTINGS)
+        assert util == pytest.approx(record.system.cpu_utilization)
+
+
+class TestCachingBehavior:
+    def test_cache_roundtrip_through_runner(self, tmp_path, monkeypatch):
+        import repro.experiments.runner as runner_module
+        from repro.experiments.records import ResultCache
+
+        monkeypatch.setattr(runner_module, "_CACHE",
+                            ResultCache(directory=tmp_path))
+        first = run_configuration(10, 1, clients=2, settings=FAST_SETTINGS)
+        assert list(tmp_path.glob("*.json"))
+        second = run_configuration(10, 1, clients=2, settings=FAST_SETTINGS)
+        assert first == second
+
+    def test_use_cache_false_skips_store(self, tmp_path, monkeypatch):
+        import repro.experiments.runner as runner_module
+        from repro.experiments.records import ResultCache
+
+        monkeypatch.setattr(runner_module, "_CACHE",
+                            ResultCache(directory=tmp_path))
+        run_configuration(10, 1, clients=2, settings=FAST_SETTINGS,
+                          use_cache=False)
+        assert not list(tmp_path.glob("*.json"))

@@ -1,0 +1,107 @@
+"""Tests for the variability module and the CLI."""
+
+import pytest
+
+from repro.experiments.configs import FAST_SETTINGS
+from repro.experiments.variability import (
+    MetricVariability,
+    measure_variability,
+)
+
+
+class TestMetricVariability:
+    def test_statistics(self):
+        metric = MetricVariability("x", (2.0, 4.0, 6.0))
+        assert metric.mean == pytest.approx(4.0)
+        assert metric.stdev == pytest.approx(2.0)
+        assert metric.coefficient_of_variation == pytest.approx(0.5)
+
+    def test_single_sample(self):
+        metric = MetricVariability("x", (5.0,))
+        assert metric.stdev == 0.0
+        low, high = metric.confidence_interval()
+        assert low == high == 5.0
+
+    def test_confidence_interval_widens_with_level(self):
+        metric = MetricVariability("x", (1.0, 2.0, 3.0, 4.0))
+        low90, high90 = metric.confidence_interval(0.90)
+        low99, high99 = metric.confidence_interval(0.99)
+        assert low99 < low90 and high99 > high90
+
+    def test_unknown_level(self):
+        with pytest.raises(ValueError):
+            MetricVariability("x", (1.0, 2.0)).confidence_interval(0.5)
+
+
+class TestMeasureVariability:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return measure_variability(25, 2, seeds=(1, 2, 3),
+                                   settings=FAST_SETTINGS)
+
+    def test_covers_default_metrics(self, report):
+        for name in ("tps", "cpi", "l3_mpi", "context_switches_per_txn"):
+            assert len(report.metric(name).samples) == 3
+
+    def test_seed_sensitivity_is_bounded(self, report):
+        # Simulated measurements vary across seeds, but not wildly.
+        name, cv = report.worst_cv()
+        assert 0.0 < cv < 0.30, f"worst metric {name} CV={cv}"
+
+    def test_unknown_metric(self, report):
+        with pytest.raises(KeyError):
+            report.metric("latency_p99")
+
+    def test_needs_seeds(self):
+        with pytest.raises(ValueError):
+            measure_variability(25, 2, seeds=())
+
+
+class TestCli:
+    def test_run_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "-w", "25", "-p", "2", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "TPS" in out and "CPI" in out
+
+    def test_sweep_with_chart(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "-p", "2", "--grid", "10,100,400",
+                     "--fast", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep at 2P" in out
+        assert "legend:" in out
+
+    def test_pivot_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["pivot", "-p", "2", "--metric", "cpi",
+                     "--grid", "10,25,50,100,200,400,800", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "pivot at" in out
+
+    def test_bad_grid_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["sweep", "--grid", "ten,20", "--fast"])
+
+    def test_unknown_machine_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(KeyError):
+            main(["run", "-w", "10", "--machine", "pdp11", "--fast"])
+
+    def test_clear_cache(self, capsys, tmp_path, monkeypatch):
+        import repro.cli as cli
+        from repro.experiments.records import ResultCache
+
+        # Point the command at a scratch cache (never the shared one).
+        monkeypatch.setattr(cli, "ResultCache",
+                            lambda: ResultCache(directory=tmp_path))
+        (tmp_path / "entry.json").write_text("{}")
+        assert cli.main(["clear-cache"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert not list(tmp_path.glob("*.json"))

@@ -1,0 +1,182 @@
+"""Tests for the coherence directory and the SMP cache hierarchy."""
+
+import pytest
+
+from repro.hw.coherence import CoherenceDirectory
+from repro.hw.hierarchy import (
+    CpuHierarchy,
+    SmpHierarchy,
+    scaled_cache_config,
+)
+from repro.hw.machine import CacheConfig, XEON_MP_QUAD
+
+
+class TestCoherenceDirectory:
+    def test_write_invalidates_remote_sharers(self):
+        invalidated = []
+        directory = CoherenceDirectory(
+            2, lambda cpu, line: invalidated.append((cpu, line)))
+        directory.note_read(0, line=7, was_miss=True)
+        directory.note_read(1, line=7, was_miss=True)
+        assert directory.sharer_count(7) == 2
+        directory.note_write(0, line=7, was_miss=False)
+        assert invalidated == [(1, 7)]
+        assert directory.invalidations == 1
+        assert directory.sharer_count(7) == 1
+
+    def test_miss_after_theft_is_coherence_miss(self):
+        directory = CoherenceDirectory(2)
+        directory.note_read(1, line=3, was_miss=True)
+        directory.note_write(0, line=3, was_miss=True)  # steals from cpu1
+        assert directory.note_read(1, line=3, was_miss=True)
+        assert directory.coherence_misses == 1
+
+    def test_miss_after_capacity_eviction_is_not_coherence(self):
+        directory = CoherenceDirectory(2)
+        directory.note_read(1, line=3, was_miss=True)
+        directory.note_write(0, line=3, was_miss=True)
+        directory.note_eviction(1, line=3)
+        assert not directory.note_read(1, line=3, was_miss=True)
+        assert directory.coherence_misses == 0
+
+    def test_read_of_remote_modified_is_intervention(self):
+        directory = CoherenceDirectory(2)
+        directory.note_write(0, line=9, was_miss=True)
+        directory.note_read(1, line=9, was_miss=True)
+        assert directory.interventions == 1
+
+    def test_own_write_does_not_self_invalidate(self):
+        invalidated = []
+        directory = CoherenceDirectory(
+            2, lambda cpu, line: invalidated.append((cpu, line)))
+        directory.note_read(0, line=5, was_miss=True)
+        directory.note_write(0, line=5, was_miss=False)
+        assert invalidated == []
+
+    def test_eviction_clears_ownership(self):
+        directory = CoherenceDirectory(2)
+        directory.note_write(0, line=4, was_miss=True)
+        directory.note_eviction(0, line=4)
+        assert directory.sharer_count(4) == 0
+        directory.note_read(1, line=4, was_miss=True)
+        assert directory.interventions == 0
+
+    def test_cpu_range_validated(self):
+        directory = CoherenceDirectory(2)
+        with pytest.raises(ValueError):
+            directory.note_read(5, line=1, was_miss=False)
+        with pytest.raises(ValueError):
+            CoherenceDirectory(0)
+
+
+class TestScaledCacheConfig:
+    def test_scale_one_is_identity(self):
+        assert scaled_cache_config(XEON_MP_QUAD.l3, 1) == XEON_MP_QUAD.l3
+
+    def test_scale_divides_lines(self):
+        scaled = scaled_cache_config(XEON_MP_QUAD.l3, 8)
+        assert scaled.total_lines == XEON_MP_QUAD.l3.total_lines // 8
+        assert scaled.line_bytes == XEON_MP_QUAD.l3.line_bytes
+        assert scaled.associativity == XEON_MP_QUAD.l3.associativity
+
+    def test_never_below_one_set(self):
+        tiny = scaled_cache_config(CacheConfig("t", 1024, 64, 4), 1000)
+        assert tiny.total_lines == 4  # one full set survives
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scaled_cache_config(XEON_MP_QUAD.l3, 0)
+
+
+class TestCpuHierarchy:
+    def test_data_miss_chain(self):
+        cpu = CpuHierarchy(XEON_MP_QUAD, cpu=0, scale=8)
+        l2_miss, l3_miss = cpu.data_access(0x10000, write=False, kernel=False)
+        assert l2_miss and l3_miss
+        l2_miss, l3_miss = cpu.data_access(0x10000, write=False, kernel=False)
+        assert not l2_miss and not l3_miss
+        assert cpu.counts.l2_misses.user == 1
+        assert cpu.counts.l3_misses.user == 1
+        assert cpu.counts.data_refs.user == 2
+
+    def test_kernel_counts_split(self):
+        cpu = CpuHierarchy(XEON_MP_QUAD, cpu=0, scale=8)
+        cpu.data_access(0x1000, write=False, kernel=True)
+        cpu.data_access(0x2000, write=False, kernel=False)
+        assert cpu.counts.data_refs.kernel == 1
+        assert cpu.counts.data_refs.user == 1
+        assert cpu.counts.data_refs.total == 2
+
+    def test_l2_hit_after_l3_fill(self):
+        cpu = CpuHierarchy(XEON_MP_QUAD, cpu=0, scale=8)
+        cpu.data_access(0x40, write=False, kernel=False)
+        # Second access hits L2 without touching L3 counters.
+        before = cpu.counts.l3_misses.total
+        cpu.data_access(0x40, write=False, kernel=False)
+        assert cpu.counts.l3_misses.total == before
+
+    def test_fetch_counts_tc_misses(self):
+        cpu = CpuHierarchy(XEON_MP_QUAD, cpu=0, scale=8)
+        assert cpu.fetch(0x100, kernel=False)  # cold: TC miss
+        assert not cpu.fetch(0x100, kernel=False)
+        assert cpu.counts.tc_misses.user == 1
+        assert cpu.counts.code_refs.user == 2
+
+    def test_context_switch_flushes_dtlb(self):
+        cpu = CpuHierarchy(XEON_MP_QUAD, cpu=0, scale=8)
+        cpu.data_access(0x5000, write=False, kernel=False)
+        misses_before = cpu.counts.tlb_misses.total
+        cpu.context_switch()
+        cpu.data_access(0x5000, write=False, kernel=False)
+        assert cpu.counts.tlb_misses.total == misses_before + 1
+        assert cpu.counts.context_switches == 1
+
+    def test_branch_counting(self):
+        cpu = CpuHierarchy(XEON_MP_QUAD, cpu=0, scale=8)
+        for _ in range(10):
+            cpu.branch(pc=3, taken=True, kernel=False)
+        assert cpu.counts.branches.user == 10
+        assert cpu.counts.mispredicts.user <= 10
+
+
+class TestSmpHierarchy:
+    def test_processor_bound_validated(self):
+        with pytest.raises(ValueError):
+            SmpHierarchy(XEON_MP_QUAD, processors=5)
+        with pytest.raises(ValueError):
+            SmpHierarchy(XEON_MP_QUAD, processors=0)
+
+    def test_shared_write_invalidates_other_cpu(self):
+        smp = SmpHierarchy(XEON_MP_QUAD, processors=2, scale=8)
+        address = 0x8000
+        smp.data_access(0, address, write=False, kernel=False, shared=True)
+        smp.data_access(1, address, write=False, kernel=False, shared=True)
+        # CPU1 writes: CPU0's copy must be invalidated.
+        smp.data_access(1, address, write=True, kernel=False, shared=True)
+        assert smp.directory.invalidations == 1
+        # CPU0's re-read misses and is classified as a coherence miss.
+        smp.data_access(0, address, write=False, kernel=False, shared=True)
+        assert smp.cpus[0].counts.coherence_misses.user == 1
+
+    def test_private_lines_never_engage_directory(self):
+        smp = SmpHierarchy(XEON_MP_QUAD, processors=2, scale=8)
+        smp.data_access(0, 0x9000, write=True, kernel=False, shared=False)
+        smp.data_access(1, 0x9000, write=True, kernel=False, shared=False)
+        assert smp.directory.invalidations == 0
+
+    def test_single_processor_skips_coherence(self):
+        smp = SmpHierarchy(XEON_MP_QUAD, processors=1, scale=8)
+        smp.data_access(0, 0x9000, write=True, kernel=False, shared=True)
+        assert smp.directory.invalidations == 0
+
+    def test_merged_counts_sum_cpus(self):
+        smp = SmpHierarchy(XEON_MP_QUAD, processors=2, scale=8)
+        smp.data_access(0, 0x100, write=False, kernel=False)
+        smp.data_access(1, 0x200, write=False, kernel=True)
+        smp.fetch(0, 0x300, kernel=False)
+        smp.context_switch(1)
+        merged = smp.merged_counts()
+        assert merged.data_refs.total == 2
+        assert merged.data_refs.kernel == 1
+        assert merged.code_refs.total == 1
+        assert merged.context_switches == 1

@@ -1,0 +1,161 @@
+"""Tests for the TLB, branch predictor, and bus models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.branch import BimodalPredictor
+from repro.hw.bus import BusModel
+from repro.hw.machine import BusConfig, TlbConfig
+from repro.hw.tlb import Tlb
+
+
+class TestTlb:
+    def test_page_granularity(self):
+        tlb = Tlb(TlbConfig(entries=4, associativity=4, page_bytes=4096))
+        assert not tlb.access(0x0000)
+        assert tlb.access(0x0FFF)  # same page
+        assert not tlb.access(0x1000)  # next page
+
+    def test_capacity_eviction(self):
+        tlb = Tlb(TlbConfig(entries=2, associativity=2, page_bytes=4096))
+        tlb.access(0x0000)
+        tlb.access(0x1000)
+        tlb.access(0x2000)  # evicts page 0
+        assert not tlb.access(0x0000)
+
+    def test_flush(self):
+        tlb = Tlb(TlbConfig(entries=4, associativity=4))
+        tlb.access(0x0000)
+        assert tlb.flush() == 1
+        assert not tlb.access(0x0000)
+
+    def test_miss_rate_accounting(self):
+        tlb = Tlb(TlbConfig(entries=4, associativity=4))
+        tlb.access(0x0000)
+        tlb.access(0x0000)
+        assert tlb.accesses == 2
+        assert tlb.misses == 1
+        assert tlb.miss_rate == pytest.approx(0.5)
+        tlb.reset_stats()
+        assert tlb.accesses == 0
+
+
+class TestBimodalPredictor:
+    def test_learns_biased_branch(self):
+        predictor = BimodalPredictor(table_size=16)
+        for _ in range(4):
+            predictor.predict_and_update(pc=3, taken=True)
+        predictor.reset_stats()
+        for _ in range(100):
+            predictor.predict_and_update(pc=3, taken=True)
+        assert predictor.misprediction_rate == 0.0
+
+    def test_learns_not_taken(self):
+        predictor = BimodalPredictor(table_size=16)
+        for _ in range(4):
+            predictor.predict_and_update(pc=5, taken=False)
+        predictor.reset_stats()
+        for _ in range(50):
+            predictor.predict_and_update(pc=5, taken=False)
+        assert predictor.misprediction_rate == 0.0
+
+    def test_alternating_branch_mispredicts_heavily(self):
+        predictor = BimodalPredictor(table_size=16)
+        outcomes = [bool(i % 2) for i in range(200)]
+        for taken in outcomes:
+            predictor.predict_and_update(pc=7, taken=taken)
+        assert predictor.misprediction_rate > 0.4
+
+    def test_aliasing_two_pcs_same_slot(self):
+        predictor = BimodalPredictor(table_size=4)
+        # pc=1 and pc=5 alias; opposing biases interfere.
+        for _ in range(50):
+            predictor.predict_and_update(pc=1, taken=True)
+            predictor.predict_and_update(pc=5, taken=False)
+        assert predictor.misprediction_rate > 0.3
+
+    def test_flush_resets_state(self):
+        predictor = BimodalPredictor(table_size=16)
+        for _ in range(10):
+            predictor.predict_and_update(pc=2, taken=False)
+        predictor.flush()
+        predictor.reset_stats()
+        predictor.predict_and_update(pc=2, taken=False)
+        assert predictor.mispredictions == 1  # back to weakly-taken default
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(table_size=0)
+
+    @given(st.lists(st.tuples(st.integers(0, 100), st.booleans()),
+                    min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_rate_bounded(self, branches):
+        predictor = BimodalPredictor(table_size=32)
+        for pc, taken in branches:
+            predictor.predict_and_update(pc, taken)
+        assert 0.0 <= predictor.misprediction_rate <= 1.0
+        assert predictor.predictions == len(branches)
+
+
+class TestBusModel:
+    def make(self, **kwargs):
+        return BusModel(BusConfig(**kwargs))
+
+    def test_unloaded_time_is_base(self):
+        bus = self.make(base_transaction_cycles=102.0)
+        assert bus.transaction_time(0.0) == pytest.approx(102.0)
+
+    def test_time_increases_with_utilization(self):
+        bus = self.make()
+        times = [bus.transaction_time(u) for u in (0.0, 0.2, 0.4, 0.6)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_utilization_linear_in_rate(self):
+        bus = self.make(occupancy_cycles=20.0)
+        assert bus.utilization(0.01) == pytest.approx(0.2)
+        assert bus.utilization(0.02) == pytest.approx(0.4)
+
+    def test_utilization_capped(self):
+        bus = self.make(occupancy_cycles=20.0, max_utilization=0.9)
+        assert bus.utilization(1.0) == 0.9
+
+    def test_load_for_scales_with_processors(self):
+        bus = self.make()
+        load1 = bus.load_for(mpi=0.005, cpi=3.0, processors=1)
+        load4 = bus.load_for(mpi=0.005, cpi=3.0, processors=4)
+        assert load4.transactions_per_cycle == pytest.approx(
+            4 * load1.transactions_per_cycle)
+
+    def test_writebacks_add_transactions(self):
+        bus = self.make()
+        without = bus.load_for(mpi=0.005, cpi=3.0, processors=2)
+        with_wb = bus.load_for(mpi=0.005, cpi=3.0, processors=2,
+                               writeback_ratio=0.5)
+        assert with_wb.transactions_per_cycle == pytest.approx(
+            1.5 * without.transactions_per_cycle)
+
+    def test_excess_time_zero_at_idle(self):
+        bus = self.make()
+        assert bus.excess_time(0.0) == 0.0
+        assert bus.excess_time(0.5) > 0.0
+
+    def test_input_validation(self):
+        bus = self.make()
+        with pytest.raises(ValueError):
+            bus.utilization(-0.1)
+        with pytest.raises(ValueError):
+            bus.transaction_time(1.5)
+        with pytest.raises(ValueError):
+            bus.load_for(mpi=-1, cpi=3.0, processors=1)
+        with pytest.raises(ValueError):
+            bus.load_for(mpi=0.01, cpi=0.0, processors=1)
+        with pytest.raises(ValueError):
+            bus.load_for(mpi=0.01, cpi=3.0, processors=0)
+
+    @given(st.floats(min_value=0.0, max_value=0.94))
+    @settings(max_examples=60, deadline=None)
+    def test_time_at_least_base(self, utilization):
+        bus = self.make()
+        assert bus.transaction_time(utilization) >= 102.0

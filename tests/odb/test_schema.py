@@ -1,0 +1,73 @@
+"""Tests for ODB schema sizing."""
+
+import pytest
+
+from repro.odb.schema import (
+    DISTRICTS_PER_WAREHOUSE,
+    CUSTOMERS_PER_DISTRICT,
+    OdbSchema,
+    WAREHOUSE_BYTES,
+    odb_segments,
+)
+
+
+class TestSegments:
+    def test_per_warehouse_bytes_close_to_100mb(self):
+        unit = 64 * 1024
+        segments = [s for s in odb_segments(unit) if s.per_warehouse]
+        total = sum(s.units for s in segments) * unit
+        assert total == pytest.approx(WAREHOUSE_BYTES, rel=0.05)
+
+    def test_item_catalog_is_global(self):
+        segments = {s.name: s for s in odb_segments()}
+        assert not segments["item"].per_warehouse
+        assert segments["item"].units >= 1
+
+    def test_stock_is_largest_table(self):
+        segments = {s.name: s for s in odb_segments()}
+        others = [s.units for name, s in segments.items()
+                  if s.per_warehouse and name != "stock"]
+        assert segments["stock"].units > max(others)
+
+    def test_tiny_tables_get_one_unit(self):
+        segments = {s.name: s for s in odb_segments()}
+        assert segments["warehouse"].units == 1
+        assert segments["district"].units == 1
+
+    def test_finer_units_give_more_units(self):
+        coarse = sum(s.units for s in odb_segments(64 * 1024))
+        fine = sum(s.units for s in odb_segments(8 * 1024))
+        assert fine > 6 * coarse
+
+    def test_unit_bytes_validated(self):
+        with pytest.raises(ValueError):
+            odb_segments(0)
+
+
+class TestOdbSchema:
+    def test_row_counts(self):
+        schema = OdbSchema(warehouses=7)
+        assert schema.districts == 7 * DISTRICTS_PER_WAREHOUSE
+        assert schema.customers == schema.districts * CUSTOMERS_PER_DISTRICT
+
+    def test_data_bytes_scale_linearly(self):
+        small = OdbSchema(warehouses=10).data_bytes
+        large = OdbSchema(warehouses=100).data_bytes
+        assert large > 9 * small
+
+    def test_block_space_round_trip(self):
+        schema = OdbSchema(warehouses=3)
+        space = schema.build_block_space()
+        assert space.warehouses == 3
+        block = space.block_id("stock", 2, 0)
+        assert space.owner_of(block)[0] == "stock"
+
+    def test_working_set_grows_linearly_with_warehouses(self):
+        w10 = OdbSchema(10).working_set_units()
+        w100 = OdbSchema(100).working_set_units()
+        # Linear growth modulo the fixed global item segment.
+        assert w100 > 9 * w10 * 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OdbSchema(warehouses=0)

@@ -1,0 +1,121 @@
+"""Integration tests for the assembled ODB system.
+
+These run short simulations; the paper-shape assertions over full sweeps
+live in tests/experiments and the benchmarks.
+"""
+
+import pytest
+
+from repro.hw.machine import ITANIUM2_QUAD
+from repro.odb import OdbConfig, OdbSystem
+
+
+def run(warehouses=25, clients=8, processors=2, **kwargs):
+    config = OdbConfig(warehouses=warehouses, clients=clients,
+                       processors=processors, **kwargs)
+    return OdbSystem(config).run(warmup_txns=100, measure_txns=500)
+
+
+class TestConfigValidation:
+    def test_processor_ceiling(self):
+        with pytest.raises(ValueError):
+            OdbConfig(warehouses=10, clients=4, processors=8)
+
+    def test_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            OdbConfig(warehouses=0, clients=4, processors=2)
+        with pytest.raises(ValueError):
+            OdbConfig(warehouses=10, clients=0, processors=2)
+
+    def test_cpi_positive(self):
+        with pytest.raises(ValueError):
+            OdbConfig(warehouses=10, clients=4, processors=2, user_cpi=0)
+
+    def test_with_cpi(self):
+        config = OdbConfig(warehouses=10, clients=4, processors=2)
+        updated = config.with_cpi(3.5, 2.5)
+        assert updated.user_cpi == 3.5 and updated.os_cpi == 2.5
+        assert updated.warehouses == config.warehouses
+
+
+class TestRun:
+    def test_produces_consistent_metrics(self):
+        metrics = run()
+        assert metrics.transactions >= 500
+        assert metrics.tps > 0
+        assert 0 < metrics.cpu_utilization <= 1.0
+        assert metrics.user_busy_share + metrics.os_busy_share == pytest.approx(1.0)
+        assert metrics.user_ipx > 0.5e6
+        assert metrics.os_ipx > 0
+        assert 0 <= metrics.buffer_hit_rate <= 1
+        assert metrics.context_switches_per_txn >= 0
+
+    def test_determinism_same_seed(self):
+        a = run(seed=11)
+        b = run(seed=11)
+        assert a == b
+
+    def test_seed_changes_outcome(self):
+        a = run(seed=11)
+        b = run(seed=12)
+        assert a.tps != b.tps
+
+    def test_cached_setup_has_negligible_reads(self):
+        metrics = run(warehouses=10, clients=6, processors=2)
+        assert metrics.reads_per_txn < 0.05
+        assert metrics.buffer_hit_rate > 0.99
+
+    def test_scaled_setup_reads_grow(self):
+        cached = run(warehouses=10, clients=6, processors=2)
+        scaled = run(warehouses=300, clients=18, processors=2)
+        assert scaled.reads_per_txn > cached.reads_per_txn + 1.0
+        assert scaled.os_ipx > cached.os_ipx
+
+    def test_log_bytes_independent_of_warehouses(self):
+        small = run(warehouses=10, clients=6)
+        large = run(warehouses=200, clients=12)
+        assert small.log_bytes_per_txn == pytest.approx(6 * 1024, rel=0.25)
+        assert large.log_bytes_per_txn == pytest.approx(
+            small.log_bytes_per_txn, rel=0.15)
+
+    def test_more_clients_raise_utilization(self):
+        few = run(warehouses=100, clients=2, processors=2)
+        many = run(warehouses=100, clients=12, processors=2)
+        assert many.cpu_utilization > few.cpu_utilization
+
+    def test_io_kb_properties(self):
+        metrics = run(warehouses=200, clients=12)
+        assert metrics.io_read_kb_per_txn == pytest.approx(
+            metrics.reads_per_txn * 8, rel=1e-9)
+        assert metrics.io_write_kb_per_txn > metrics.log_bytes_per_txn / 1024
+        assert metrics.io_total_kb_per_txn == pytest.approx(
+            metrics.io_read_kb_per_txn + metrics.io_write_kb_per_txn)
+
+    def test_ipx_is_sum_of_spaces(self):
+        metrics = run()
+        assert metrics.ipx == metrics.user_ipx + metrics.os_ipx
+
+    def test_itanium_machine_runs(self):
+        metrics = run(machine=ITANIUM2_QUAD)
+        assert metrics.tps > 0
+
+    def test_time_limit_prevents_hangs(self):
+        # Tiny client count at a huge workload: the txn target may be
+        # unreachable in the time limit; we still get a window.
+        config = OdbConfig(warehouses=400, clients=1, processors=1)
+        metrics = OdbSystem(config).run(warmup_txns=10, measure_txns=50,
+                                        time_limit_s=5.0)
+        assert metrics.elapsed_s <= 5.0
+
+
+class TestIronLawConsistency:
+    def test_des_tps_matches_iron_law_at_measured_utilization(self):
+        """The standing consistency check from DESIGN.md §3."""
+        metrics = run(warehouses=50, clients=8, processors=2,
+                      user_cpi=3.0, os_cpi=2.5)
+        frequency = 1.6e9
+        # Effective CPI the DES actually used:
+        cpi = (metrics.user_ipx * 3.0 + metrics.os_ipx * 2.5) / metrics.ipx
+        ideal_tps = (metrics.processors * frequency) / (metrics.ipx * cpi)
+        predicted = ideal_tps * metrics.cpu_utilization
+        assert metrics.tps == pytest.approx(predicted, rel=0.05)

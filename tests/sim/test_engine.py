@@ -1,0 +1,149 @@
+"""Tests for the DES engine: clock, events, conditions."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Engine, SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_timeout_advances_clock():
+    engine = Engine()
+    engine.timeout(3.5)
+    engine.run()
+    assert engine.now == 3.5
+
+
+def test_timeouts_fire_in_order():
+    engine = Engine()
+    fired = []
+    for delay in (5.0, 1.0, 3.0):
+        engine.timeout(delay).add_callback(lambda e, d=delay: fired.append(d))
+    engine.run()
+    assert fired == [1.0, 3.0, 5.0]
+
+
+def test_ties_fire_in_creation_order():
+    engine = Engine()
+    fired = []
+    for tag in ("a", "b", "c"):
+        engine.timeout(1.0).add_callback(lambda e, t=tag: fired.append(t))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Engine().timeout(-1.0)
+
+
+def test_run_until_stops_early_and_pins_clock():
+    engine = Engine()
+    fired = []
+    engine.timeout(1.0).add_callback(lambda e: fired.append(1))
+    engine.timeout(10.0).add_callback(lambda e: fired.append(10))
+    engine.run(until=5.0)
+    assert fired == [1]
+    assert engine.now == 5.0
+
+
+def test_run_until_past_raises():
+    engine = Engine()
+    engine.timeout(2.0)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.run(until=1.0)
+
+
+def test_manual_event_succeed_value():
+    engine = Engine()
+    event = engine.event()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    event.succeed(42)
+    engine.run()
+    assert seen == [42]
+    assert event.processed and event.ok
+
+
+def test_event_double_trigger_rejected():
+    engine = Engine()
+    event = engine.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_value_before_trigger_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        _ = engine.event().value
+
+
+def test_fail_requires_exception_instance():
+    engine = Engine()
+    with pytest.raises(TypeError):
+        engine.event().fail("not an exception")
+
+
+def test_late_callback_runs_immediately():
+    engine = Engine()
+    event = engine.event()
+    event.succeed("x")
+    engine.run()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["x"]
+
+
+def test_peek_reports_next_event_time():
+    engine = Engine()
+    assert engine.peek() == float("inf")
+    engine.timeout(7.0)
+    assert engine.peek() == 7.0
+
+
+def test_step_on_empty_schedule_raises():
+    with pytest.raises(SimulationError):
+        Engine().step()
+
+
+def test_all_of_waits_for_every_child():
+    engine = Engine()
+    children = [engine.timeout(d, value=d) for d in (1.0, 2.0, 3.0)]
+    combined = AllOf(engine, children)
+    done_at = []
+    combined.add_callback(lambda e: done_at.append(engine.now))
+    engine.run()
+    assert done_at == [3.0]
+    assert combined.value == {0: 1.0, 1: 2.0, 2: 3.0}
+
+
+def test_any_of_fires_on_first_child():
+    engine = Engine()
+    children = [engine.timeout(d, value=d) for d in (4.0, 2.0)]
+    combined = AnyOf(engine, children)
+    done_at = []
+    combined.add_callback(lambda e: done_at.append(engine.now))
+    engine.run()
+    assert done_at == [2.0]
+    assert combined.value == {1: 2.0}
+
+
+def test_all_of_empty_completes_immediately():
+    engine = Engine()
+    combined = AllOf(engine, [])
+    assert combined.triggered
+    assert combined.value == {}
+
+
+def test_condition_propagates_failure():
+    engine = Engine()
+    bad = engine.event()
+    combined = AllOf(engine, [engine.timeout(1.0), bad])
+    bad.fail(RuntimeError("boom"))
+    engine.run()
+    assert combined.triggered and not combined.ok
+    assert isinstance(combined.value, RuntimeError)

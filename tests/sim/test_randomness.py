@@ -1,0 +1,153 @@
+"""Tests for deterministic RNG streams and distributions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.randomness import (
+    RandomStreams,
+    derive_seed,
+    exponential,
+    lognormal_about,
+    sample_cdf,
+    zipf_cdf,
+)
+
+
+def test_same_seed_same_stream():
+    a = RandomStreams(7).stream("disk")
+    b = RandomStreams(7).stream("disk")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(7)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(7)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_draws_on_one_stream_do_not_shift_another():
+    reference = RandomStreams(7)
+    baseline = [reference.stream("b").random() for _ in range(5)]
+    streams = RandomStreams(7)
+    for _ in range(100):
+        streams.stream("a").random()
+    assert [streams.stream("b").random() for _ in range(5)] == baseline
+
+
+def test_fork_produces_independent_family():
+    parent = RandomStreams(7)
+    child = parent.fork("run-1")
+    assert child.root_seed != parent.root_seed
+    assert parent.fork("run-1").root_seed == child.root_seed
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_derive_seed_stable_and_bounded(root, name):
+    seed = derive_seed(root, name)
+    assert 0 <= seed < 2**64
+    assert seed == derive_seed(root, name)
+
+
+class TestZipf:
+    def test_uniform_when_skew_zero(self):
+        cdf = zipf_cdf(4, 0.0)
+        assert cdf == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_skew_concentrates_head(self):
+        cdf = zipf_cdf(100, 1.0)
+        # With skew=1 over 100 items the top 10 ranks absorb well over
+        # their uniform 10% share.
+        assert cdf[9] > 0.4
+
+    def test_cdf_monotone_and_terminated(self):
+        cdf = zipf_cdf(50, 0.8)
+        assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+        assert cdf[-1] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_cdf(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_cdf(10, -0.1)
+
+    @given(st.integers(min_value=1, max_value=200),
+           st.floats(min_value=0.0, max_value=3.0))
+    @settings(max_examples=50, deadline=None)
+    def test_cdf_property(self, n, skew):
+        cdf = zipf_cdf(n, skew)
+        assert len(cdf) == n
+        assert cdf[-1] == pytest.approx(1.0)
+        assert all(0.0 <= p <= 1.0 + 1e-12 for p in cdf)
+
+
+class TestSampleCdf:
+    def test_indexes_in_range(self):
+        rng = RandomStreams(1).stream("s")
+        cdf = zipf_cdf(10, 1.0)
+        samples = [sample_cdf(rng, cdf) for _ in range(500)]
+        assert all(0 <= s < 10 for s in samples)
+
+    def test_skewed_cdf_prefers_head(self):
+        rng = RandomStreams(1).stream("s")
+        cdf = zipf_cdf(100, 1.5)
+        samples = [sample_cdf(rng, cdf) for _ in range(2000)]
+        head = sum(1 for s in samples if s < 5)
+        assert head / len(samples) > 0.5
+
+    def test_degenerate_single_entry(self):
+        rng = RandomStreams(1).stream("s")
+        assert sample_cdf(rng, [1.0]) == 0
+
+
+class TestDistributions:
+    def test_exponential_mean(self):
+        rng = RandomStreams(3).stream("exp")
+        samples = [exponential(rng, 4.0) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(4.0, rel=0.05)
+
+    def test_exponential_zero_mean(self):
+        rng = RandomStreams(3).stream("exp")
+        assert exponential(rng, 0.0) == 0.0
+
+    def test_exponential_negative_mean_rejected(self):
+        rng = RandomStreams(3).stream("exp")
+        with pytest.raises(ValueError):
+            exponential(rng, -1.0)
+
+    def test_lognormal_mean_and_positivity(self):
+        rng = RandomStreams(3).stream("ln")
+        samples = [lognormal_about(rng, 5.0, 0.5) for _ in range(20000)]
+        assert all(s > 0 for s in samples)
+        assert sum(samples) / len(samples) == pytest.approx(5.0, rel=0.05)
+
+    def test_lognormal_zero_cv_is_deterministic(self):
+        rng = RandomStreams(3).stream("ln")
+        assert lognormal_about(rng, 5.0, 0.0) == 5.0
+
+    def test_lognormal_validation(self):
+        rng = RandomStreams(3).stream("ln")
+        with pytest.raises(ValueError):
+            lognormal_about(rng, 0.0, 0.5)
+        with pytest.raises(ValueError):
+            lognormal_about(rng, 1.0, -0.5)
+
+    def test_lognormal_cv_controls_spread(self):
+        rng = RandomStreams(3).stream("ln")
+        tight = [lognormal_about(rng, 5.0, 0.1) for _ in range(5000)]
+        wide = [lognormal_about(rng, 5.0, 1.0) for _ in range(5000)]
+
+        def stdev(xs):
+            m = sum(xs) / len(xs)
+            return math.sqrt(sum((x - m) ** 2 for x in xs) / len(xs))
+
+        assert stdev(tight) < stdev(wide)

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs and prints its conclusions.
+
+Examples use moderate fidelity, so these are the slowest tests in the
+suite; they share the on-disk result cache with the benchmarks.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+@pytest.fixture(autouse=True)
+def examples_on_path(monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+    yield
+    for name in ("quickstart", "workload_scaling_study",
+                 "cmp_design_space", "measurement_methodology"):
+        sys.modules.pop(name, None)
+
+
+def run_example(name: str, capsys) -> str:
+    module = importlib.import_module(name)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_all_examples_exist():
+    expected = {"quickstart.py", "workload_scaling_study.py",
+                "cmp_design_space.py", "measurement_methodology.py"}
+    assert expected <= {p.name for p in EXAMPLES_DIR.glob("*.py")}
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "Iron law of database performance" in out
+    assert "measured by the DES" in out
+
+
+def test_workload_scaling_study(capsys):
+    out = run_example("workload_scaling_study", capsys)
+    assert "pivot point" in out
+    assert "representative scaled configuration" in out.lower() \
+        or "representative" in out
+
+
+def test_cmp_design_space(capsys):
+    out = run_example("cmp_design_space", capsys)
+    assert "CMP design space" in out
+    assert "baseline" in out
+
+
+def test_measurement_methodology(capsys):
+    out = run_example("measurement_methodology", capsys)
+    assert "rotation" in out
+    assert "coeff" in out or "variation" in out
