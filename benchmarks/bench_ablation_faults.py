@@ -1,0 +1,20 @@
+"""Ablation — degraded disk array vs the Figure 2 I/O-bound knee."""
+
+from benchmarks.conftest import once
+from repro.experiments import exp_ablation
+
+
+def test_ablation_fault_sweep(benchmark, save_report):
+    result = once(benchmark, exp_ablation.fault_sweep)
+    save_report("ablation_faults", exp_ablation.render_fault_sweep(result))
+    # A degraded substrate can only lower utilization, and the knee (the
+    # first warehouse count the array cannot keep the CPUs >= 90% busy)
+    # can only move left — the inverse of the A2 more-disks conjecture.
+    for healthy, degraded in zip(result.healthy, result.degraded):
+        assert (degraded.system.cpu_utilization
+                <= healthy.system.cpu_utilization + 0.02)
+    healthy_knee = result.knee("healthy")
+    degraded_knee = result.knee("degraded")
+    assert degraded_knee is not None
+    if healthy_knee is not None:
+        assert degraded_knee <= healthy_knee

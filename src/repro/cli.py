@@ -3,20 +3,25 @@
 ::
 
     python -m repro run -w 200 -p 4          # one configuration
+    python -m repro run -w 200 --faults plan.json   # ... on degraded hardware
     python -m repro sweep -p 4 --chart       # warehouse sweep (+ ASCII plot)
+    python -m repro sweep -p 4 --resume      # checkpointed (kill-safe) sweep
     python -m repro pivot -p 4 --metric cpi  # two-region fit and pivot
     python -m repro table1                   # the 90%-utilization search
     python -m repro variability -w 100 -p 4  # multi-seed error bars
     python -m repro clear-cache              # drop cached sweep results
 
 ``--fast`` trades fidelity for speed on any simulating command (the
-same settings the test suite uses).
+same settings the test suite uses).  ``--faults plan.json`` injects a
+:class:`repro.faults.FaultPlan` (degraded disks, log stalls, lock
+storms, transient aborts) into ``run`` and ``sweep``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core.pivot import pivot_point, representative_configuration
@@ -29,7 +34,13 @@ from repro.experiments.configs import (
 )
 from repro.experiments.records import ResultCache
 from repro.experiments.report import render_series, render_table
-from repro.experiments.runner import run_configuration, sweep
+from repro.experiments.resilience import SweepJournal
+from repro.experiments.runner import (
+    run_configuration,
+    settings_fingerprint,
+    sweep,
+)
+from repro.faults import FaultPlan
 from repro.hw.machine import XEON_MP_QUAD, machine_by_name
 
 
@@ -41,6 +52,15 @@ def _machine(args):
     return machine_by_name(args.machine)
 
 
+def _faults(args) -> Optional[FaultPlan]:
+    if not getattr(args, "faults", None):
+        return None
+    try:
+        return FaultPlan.load(args.faults)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        raise SystemExit(f"cannot load fault plan {args.faults!r}: {error}")
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--machine", default=XEON_MP_QUAD.name,
                         help="machine preset (xeon-mp-quad, itanium2-quad)")
@@ -48,10 +68,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="reduced-fidelity settings (test speed)")
 
 
+def _add_faults(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--faults", default=None, metavar="PLAN.json",
+                        help="JSON FaultPlan to inject (see repro.faults)")
+
+
 def cmd_run(args) -> int:
+    faults = _faults(args)
     result = run_configuration(args.warehouses, args.processors,
                                clients=args.clients, machine=_machine(args),
-                               settings=_settings(args))
+                               settings=_settings(args), faults=faults)
     system = result.system
     rows = [
         ["TPS (measured / iron law)",
@@ -74,6 +100,10 @@ def cmd_run(args) -> int:
          f"{system.context_switches_per_txn:.2f}"],
         ["redo per txn", f"{system.log_bytes_per_txn / 1024:.1f} KB"],
     ]
+    if faults is not None:
+        rows.append(["aborts / retries per txn",
+                     f"{system.aborts_per_txn:.3f} / "
+                     f"{system.retries_per_txn:.3f}"])
     print(render_table(
         f"{result.machine}: W={result.warehouses} C={result.clients} "
         f"P={result.processors}", ["metric", "value"], rows))
@@ -92,10 +122,32 @@ def _parse_grid(text: Optional[str]) -> tuple[int, ...]:
     return grid
 
 
+def _journal_path(args, faults: Optional[FaultPlan]) -> Path:
+    """Default journal location, keyed like the cache so unrelated sweeps
+    never share a checkpoint file."""
+    machine = _machine(args)
+    slug = "".join(c if c.isalnum() or c in "-." else "_"
+                   for c in machine.name)
+    name = f"{slug}-p{args.processors}-{settings_fingerprint(_settings(args))}"
+    if faults is not None:
+        name += f"-f{faults.fingerprint()}"
+    root = Path(__file__).resolve().parents[2] / "results" / "sweeps"
+    return root / f"{name}.jsonl"
+
+
 def cmd_sweep(args) -> int:
     grid = _parse_grid(args.grid)
+    faults = _faults(args)
+    journal = None
+    if args.journal:
+        journal = SweepJournal(args.journal)
+    elif args.resume:
+        journal = SweepJournal(_journal_path(args, faults))
+    if journal is not None:
+        done = len(journal.load())
+        print(f"journal: {journal.path} ({done} point(s) already complete)")
     records = sweep(grid, args.processors, machine=_machine(args),
-                    settings=_settings(args))
+                    settings=_settings(args), faults=faults, journal=journal)
     xs = [r.warehouses for r in records]
     series = {
         "TPS": [r.tps for r in records],
@@ -193,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("-c", "--clients", type=int, default=None,
                             help="default: the Table 1 value for (W, P)")
     _add_common(run_parser)
+    _add_faults(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
     sweep_parser = commands.add_parser("sweep", help="warehouse sweep")
@@ -201,7 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
                               help="comma-separated warehouse counts")
     sweep_parser.add_argument("--chart", action="store_true",
                               help="also draw an ASCII CPI chart")
+    sweep_parser.add_argument("--resume", action="store_true",
+                              help="checkpoint each completed point and "
+                                   "resume a killed sweep from its journal")
+    sweep_parser.add_argument("--journal", default=None, metavar="PATH",
+                              help="explicit journal file (implies --resume)")
     _add_common(sweep_parser)
+    _add_faults(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
     pivot_parser = commands.add_parser("pivot",

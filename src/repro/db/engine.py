@@ -57,6 +57,7 @@ class DatabaseEngine:
         self.redo = redo
         self.dbwriter = dbwriter
         self.transactions = Counter("transactions-committed")
+        self.aborted = Counter("transactions-aborted")
         self.physical_reads = Counter("physical-reads")
         self.logical_reads = Counter("logical-reads")
         self.lock_wait_switches = Counter("lock-wait-switches")
@@ -166,6 +167,12 @@ class DatabaseEngine:
         return claim
 
     def abort(self, owner: object) -> None:
-        """Release everything without committing (not used by ODB's mix,
-        but part of a credible engine surface)."""
+        """Release everything without committing.
+
+        The healthy ODB mix never aborts; fault injection
+        (:class:`repro.faults.TransientAborts`) turns transactions into
+        transient victims at commit time, and the client retries them
+        with backoff.
+        """
         self.lock_table.release_all(owner)
+        self.aborted.add()

@@ -147,6 +147,21 @@ class LockTable:
         self._held.setdefault(owner, []).append(key)
         return waited
 
+    def acquire_many(self, owner: object, keys, mode: Mode = "X"):
+        """Acquire several keys in the given (fixed) order; yields while
+        queued on each.  Returns the number of acquisitions that waited.
+
+        Used by fault injection (``repro.faults`` lock storms) and any
+        caller that takes a whole lock set up front: ordered acquisition
+        keeps the no-deadlock invariant.
+        """
+        waits = 0
+        for key in keys:
+            waited = yield from self.acquire(owner, key, mode)
+            if waited:
+                waits += 1
+        return waits
+
     def holds(self, owner: object, key: Hashable) -> bool:
         """True when ``owner`` currently holds ``key`` (either mode)."""
         lock = self._locks.get(key)

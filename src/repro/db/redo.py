@@ -11,6 +11,7 @@ instruction share shrinks as load rises.
 
 from __future__ import annotations
 
+from repro.faults import stall_wait_s
 from repro.osmodel.disks import DiskArray
 from repro.osmodel.scheduler import Scheduler
 from repro.sim import Engine, Gate
@@ -69,7 +70,8 @@ class RedoLog:
 
 def log_writer_process(engine: Engine, redo: RedoLog, disks: DiskArray,
                        scheduler: Scheduler, poll_interval_s: float = 0.0005,
-                       flush_instructions: float | None = None):
+                       flush_instructions: float | None = None,
+                       stalls: tuple = ()):
     """The LGWR background process.
 
     Loop: when un-flushed redo exists, charge the flush path on a CPU,
@@ -77,10 +79,19 @@ def log_writer_process(engine: Engine, redo: RedoLog, disks: DiskArray,
     for every covered transaction.  ``poll_interval_s`` is the idle
     sleep; at load the writer is continuously busy so commits wait at
     most one flush round.
+
+    ``stalls`` is an optional tuple of :class:`repro.faults.LogStall`
+    fault windows: while one is open the writer is wedged — no flush
+    completes, commit waits balloon, and group-commit batches grow.
     """
     if flush_instructions is None:
         flush_instructions = scheduler.costs.log_flush
     while True:
+        if stalls:
+            wedged = stall_wait_s(stalls, engine.now)
+            if wedged > 0:
+                yield engine.timeout(wedged)
+                continue
         target = redo.pending_sequence
         flushed = int(redo.flushed_sequence)
         if target <= flushed:

@@ -7,21 +7,30 @@ The paper conjectures (and spot-checks on the Itanium2):
   scheduler switches less, and the scaled-region OS overhead drops;
 - **A3**: coherence misses are minor on this class of machine, so MPI is
   nearly independent of processor count.
+
+:func:`fault_sweep` extends A2 in the degradation direction: instead of
+*adding* disk bandwidth, it takes bandwidth away with a
+:class:`~repro.faults.FaultPlan` (array-wide service-time inflation) and
+shows the Figure 2 I/O-bound knee — the warehouse count where the array
+can no longer keep the CPUs busy — moving *left*.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.pivot import PivotAnalysis, pivot_point
 from repro.experiments.configs import (
     DEFAULT_SETTINGS,
     FULL_WAREHOUSE_GRID,
+    IO_BOUND_WAREHOUSES,
     RunnerSettings,
 )
 from repro.experiments.records import ConfigResult
 from repro.experiments.report import render_table
 from repro.experiments.runner import run_configuration, sweep
+from repro.faults import DiskDegradation, FaultPlan
 from repro.hw.machine import XEON_MP_QUAD, MachineConfig
 
 
@@ -94,6 +103,80 @@ def render_disk_sweep(result: DiskSweepResult) -> str:
              "latency -> at a fixed client count the CPUs stall less "
              "(equivalently, fewer clients would be needed for 90%, "
              "reducing switching and OS overhead).")
+
+
+@dataclass(frozen=True)
+class FaultSweepResult:
+    """Healthy vs degraded-array behavior over a warehouse sweep."""
+
+    plan: FaultPlan
+    healthy: list[ConfigResult]
+    degraded: list[ConfigResult]
+
+    def knee(self, which: str = "healthy",
+             threshold: float = 0.90) -> Optional[int]:
+        """First warehouse count where CPU utilization drops below
+        ``threshold`` — the array can no longer feed the processors
+        (Figure 2's I/O-bound region); None when never I/O-bound."""
+        records = self.healthy if which == "healthy" else self.degraded
+        for record in records:
+            if record.system.cpu_utilization < threshold:
+                return record.warehouses
+        return None
+
+
+def degraded_disk_plan(latency_factor: float = 3.0,
+                       seed: int = 1) -> FaultPlan:
+    """Array-wide service-time inflation: the Porobic-style scenario of
+    the same workload on a worse I/O substrate."""
+    return FaultPlan(seed=seed, disks=(
+        DiskDegradation(disk=-1, latency_factor=latency_factor),))
+
+
+def fault_sweep(warehouses=(200, 400, 600, 800, IO_BOUND_WAREHOUSES),
+                processors: int = 4, latency_factor: float = 3.0,
+                settings: RunnerSettings = DEFAULT_SETTINGS,
+                machine: MachineConfig = XEON_MP_QUAD) -> FaultSweepResult:
+    """Degraded disks vs the Figure 2 I/O-bound region and Table 5 pivot.
+
+    Runs the same (W, C, P) grid healthy and under
+    :func:`degraded_disk_plan`; the client counts are held at the
+    healthy Table 1 values, so any utilization gap is purely the
+    substrate's doing.
+    """
+    plan = degraded_disk_plan(latency_factor)
+    healthy = sweep(warehouses, processors, machine=machine,
+                    settings=settings)
+    degraded = sweep(warehouses, processors, machine=machine,
+                     settings=settings, faults=plan)
+    return FaultSweepResult(plan=plan, healthy=healthy, degraded=degraded)
+
+
+def render_fault_sweep(result: FaultSweepResult) -> str:
+    rows = []
+    for healthy, degraded in zip(result.healthy, result.degraded):
+        rows.append([healthy.warehouses,
+                     f"{healthy.system.cpu_utilization:.0%}",
+                     f"{degraded.system.cpu_utilization:.0%}",
+                     f"{healthy.system.max_disk_utilization:.0%}",
+                     f"{degraded.system.max_disk_utilization:.0%}",
+                     f"{healthy.tps:.0f}",
+                     f"{degraded.tps:.0f}"])
+    healthy_knee = result.knee("healthy")
+    degraded_knee = result.knee("degraded")
+
+    def show(knee):
+        return f"{knee}W" if knee is not None else "none in grid"
+
+    factor = result.plan.disks[0].latency_factor
+    return render_table(
+        f"Ablation: degraded disk array ({factor:g}x service time)",
+        ["W", "CPU util", "CPU util (deg)", "max disk", "max disk (deg)",
+         "TPS", "TPS (deg)"], rows,
+        note=(f"I/O-bound knee (CPU util < 90%): healthy "
+              f"{show(healthy_knee)} -> degraded {show(degraded_knee)}; "
+              "a worse substrate moves the knee left, the inverse of the "
+              "A2 more-disks conjecture."))
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ and the EXPERIMENTS.md tables without re-simulating.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
 from dataclasses import dataclass
@@ -19,6 +20,22 @@ from typing import Optional
 from repro.core.cpi_model import CpiBreakdown, CpiSolution
 from repro.hw.trace import MicroarchRates
 from repro.odb.system import SystemMetrics
+
+#: Serialization generation of :class:`ConfigResult`.  Bump whenever the
+#: serialized shape changes (fields added/removed/retyped) so stale cache
+#: and journal entries invalidate cleanly instead of falling through
+#: ``from_dict``'s ``KeyError``/``TypeError`` path.
+SCHEMA_VERSION = 2
+
+
+class SchemaMismatchError(ValueError):
+    """A serialized ConfigResult is from another schema generation."""
+
+
+def payload_checksum(payload: dict) -> str:
+    """Short stable content hash of a serialized result payload."""
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.blake2b(canonical.encode(), digest_size=8).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -56,6 +73,7 @@ class ConfigResult:
 
     def to_dict(self) -> dict:
         return {
+            "schema_version": SCHEMA_VERSION,
             "machine": self.machine,
             "warehouses": self.warehouses,
             "clients": self.clients,
@@ -77,6 +95,11 @@ class ConfigResult:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ConfigResult":
+        version = data.get("schema_version", 1)
+        if version != SCHEMA_VERSION:
+            raise SchemaMismatchError(
+                f"serialized ConfigResult has schema_version {version}, "
+                f"this build reads {SCHEMA_VERSION}")
         cpi_data = data["cpi"]
         solution = CpiSolution(
             breakdown=CpiBreakdown(**cpi_data["breakdown"]),
@@ -101,31 +124,62 @@ class ConfigResult:
 
 
 class ResultCache:
-    """On-disk JSON cache of configuration results.
+    """Crash-safe on-disk JSON cache of configuration results.
 
-    Keyed by the run parameters plus a settings fingerprint; safe to
-    delete at any time (results regenerate deterministically).  Disable
-    with the ``REPRO_NO_CACHE`` environment variable.
+    Keyed by the run parameters plus a settings fingerprint (and a fault
+    fingerprint when a fault plan is active); safe to delete at any time
+    (results regenerate deterministically).  Disable with the
+    ``REPRO_NO_CACHE`` environment variable.
+
+    Durability and integrity semantics:
+
+    - ``store`` writes through a temp file and ``os.replace``, so an
+      interrupted run can never leave a truncated entry under the final
+      name;
+    - every entry is an envelope carrying ``schema_version`` and a
+      payload ``checksum``; entries from an older schema generation are
+      deleted silently (clean invalidation), while undecodable or
+      checksum-inconsistent entries are *quarantined* — moved into
+      ``<cache>/quarantine/`` for inspection — instead of being
+      silently regenerated over.
     """
+
+    QUARANTINE_DIR = "quarantine"
 
     def __init__(self, directory: Optional[Path] = None):
         if directory is None:
             directory = Path(__file__).resolve().parents[3] / "results" / "cache"
         self.directory = Path(directory)
         self.enabled = not os.environ.get("REPRO_NO_CACHE")
+        #: Entries moved to quarantine over this cache's lifetime.
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
     @staticmethod
     def key_for(machine: str, warehouses: int, clients: int, processors: int,
-                settings_fingerprint: str) -> str:
+                settings_fingerprint: str,
+                fault_fingerprint: Optional[str] = None) -> str:
         # Derived machine names ("xeon-mp-quad/l3=512KB") contain path
         # separators and '='; flatten to a filesystem-safe slug.
         safe_machine = "".join(c if c.isalnum() or c in "-." else "_"
                                for c in machine)
-        return (f"{safe_machine}-w{warehouses}-c{clients}-p{processors}"
-                f"-{settings_fingerprint}")
+        key = (f"{safe_machine}-w{warehouses}-c{clients}-p{processors}"
+               f"-{settings_fingerprint}")
+        if fault_fingerprint:
+            key += f"-f{fault_fingerprint}"
+        return key
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside instead of regenerating over it."""
+        target_dir = self.directory / self.QUARANTINE_DIR
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+            self.quarantined += 1
+        except OSError:  # pragma: no cover - racing deletion is fine
+            pass
 
     def load(self, key: str) -> Optional[ConfigResult]:
         if not self.enabled:
@@ -135,9 +189,28 @@ class ResultCache:
             return None
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                return ConfigResult.from_dict(json.load(handle))
-        except (json.JSONDecodeError, KeyError, TypeError):
-            # A stale or corrupt entry regenerates.
+                data = json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            self._quarantine(path)
+            return None
+        if not isinstance(data, dict):
+            self._quarantine(path)
+            return None
+        if data.get("schema_version") != SCHEMA_VERSION or "result" not in data:
+            # A past schema generation (or the pre-envelope format):
+            # cleanly invalidated, not an integrity problem.
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover
+                pass
+            return None
+        if payload_checksum(data["result"]) != data.get("checksum"):
+            self._quarantine(path)
+            return None
+        try:
+            return ConfigResult.from_dict(data["result"])
+        except (SchemaMismatchError, KeyError, TypeError):
+            self._quarantine(path)
             return None
 
     def store(self, key: str, result: ConfigResult) -> None:
@@ -145,8 +218,26 @@ class ResultCache:
             return
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(result.to_dict(), handle)
+        payload = result.to_dict()
+        envelope = {
+            "schema_version": SCHEMA_VERSION,
+            "checksum": payload_checksum(payload),
+            "result": payload,
+        }
+        # Atomic publication: a kill mid-write leaves only the temp file.
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(envelope, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # a failure before the replace
+                try:
+                    tmp.unlink()
+                except OSError:  # pragma: no cover
+                    pass
 
     def clear(self) -> int:
         """Delete all cached entries; returns the number removed."""

@@ -1,0 +1,204 @@
+"""Harness resilience: convergence guards, watchdogs, sweep checkpoints.
+
+Every figure in this reproduction flows through the coupled runner, so
+the harness must stay trustworthy over long, repeated execution (the
+Darmont benchmark-quality argument): a fixed point that oscillates must
+not silently ship garbage, a wedged configuration must not hang a sweep
+forever, and a killed sweep must resume from its last completed point
+instead of restarting.
+
+- :class:`ConvergenceGuard` — watches the (user CPI, OS CPI) trajectory
+  of the fixed-point iteration; rejects non-finite values outright and
+  applies damped updates when successive deltas *grow* (oscillation or
+  divergence), raising a structured :class:`ConvergenceError` when
+  damping cannot rescue the iteration.  On a convergent trajectory —
+  every healthy configuration — it is a pure observer and the iterates
+  pass through bit-unchanged.
+- :class:`WatchdogTimeout` — raised by the runner when one
+  configuration exceeds its wall-clock budget between coupled rounds.
+- :class:`SweepJournal` — an append-only JSON-lines checkpoint of
+  completed sweep points.  Each record carries the serialization schema
+  version and a payload checksum; a partially written final line (the
+  kill case) or a corrupt/stale record is skipped on load, so resuming
+  only ever trusts fully journaled points.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.records import (
+    SCHEMA_VERSION,
+    ConfigResult,
+    SchemaMismatchError,
+    payload_checksum,
+)
+
+
+class ConvergenceError(RuntimeError):
+    """The coupled fixed point failed to converge.
+
+    Carries the full iterate history and a context string naming the
+    configuration, so a failed sweep point is diagnosable from the
+    exception alone.
+    """
+
+    def __init__(self, reason: str, *, context: str = "",
+                 history: Optional[list[tuple[float, float]]] = None):
+        self.reason = reason
+        self.context = context
+        self.history = list(history or [])
+        detail = f" [{context}]" if context else ""
+        super().__init__(
+            f"fixed-point iteration failed{detail}: {reason}; "
+            f"history={self.history!r}")
+
+
+class WatchdogTimeout(RuntimeError):
+    """One configuration exceeded its wall-clock budget."""
+
+    def __init__(self, limit_s: float, elapsed_s: float, context: str = ""):
+        self.limit_s = limit_s
+        self.elapsed_s = elapsed_s
+        self.context = context
+        detail = f" [{context}]" if context else ""
+        super().__init__(
+            f"configuration watchdog fired{detail}: "
+            f"{elapsed_s:.1f}s elapsed > {limit_s:.1f}s limit")
+
+
+class ConvergenceGuard:
+    """Divergence detection with a damping fallback for the CPI fixed point.
+
+    ``admit(user_cpi, os_cpi)`` is called once per coupled round with
+    the freshly solved iterate and returns the iterate to use for the
+    next round.  Behavior:
+
+    - non-finite or non-positive CPI values raise :class:`ConvergenceError`
+      immediately (a NaN would otherwise poison every downstream number);
+    - while successive deltas shrink (the normal, mildly-coupled case)
+      the iterate passes through unchanged — healthy runs are
+      bit-identical with or without the guard;
+    - when a delta *grows* past ``growth_tolerance`` times the previous
+      delta, the update is damped toward the last accepted iterate;
+      after ``max_damped_rounds`` damped updates with deltas still
+      growing, the iteration is declared divergent.
+    """
+
+    def __init__(self, damping: float = 0.5, growth_tolerance: float = 1.0,
+                 max_damped_rounds: int = 3, min_delta: float = 1e-6,
+                 context: str = ""):
+        if not 0.0 < damping < 1.0:
+            raise ValueError("damping must be in (0, 1)")
+        if growth_tolerance < 1.0:
+            raise ValueError("growth_tolerance must be >= 1")
+        self.damping = damping
+        self.growth_tolerance = growth_tolerance
+        self.max_damped_rounds = max_damped_rounds
+        self.min_delta = min_delta
+        self.context = context
+        self.history: list[tuple[float, float]] = []
+        self.damped_rounds = 0
+        self._accepted: Optional[tuple[float, float]] = None
+        self._last_delta: Optional[float] = None
+
+    def _delta(self, user_cpi: float, os_cpi: float) -> float:
+        prev_user, prev_os = self._accepted  # type: ignore[misc]
+        return max(abs(user_cpi - prev_user) / prev_user,
+                   abs(os_cpi - prev_os) / prev_os)
+
+    def admit(self, user_cpi: float, os_cpi: float) -> tuple[float, float]:
+        """Vet one iterate; returns the (possibly damped) iterate to use."""
+        if not (math.isfinite(user_cpi) and math.isfinite(os_cpi)):
+            raise ConvergenceError(
+                f"non-finite CPI iterate ({user_cpi}, {os_cpi})",
+                context=self.context, history=self.history)
+        if user_cpi <= 0 or os_cpi <= 0:
+            raise ConvergenceError(
+                f"non-positive CPI iterate ({user_cpi}, {os_cpi})",
+                context=self.context, history=self.history)
+        self.history.append((user_cpi, os_cpi))
+        if self._accepted is None:
+            self._accepted = (user_cpi, os_cpi)
+            return user_cpi, os_cpi
+        delta = self._delta(user_cpi, os_cpi)
+        growing = (self._last_delta is not None
+                   and delta > self.min_delta
+                   and delta > self.growth_tolerance * self._last_delta)
+        if growing:
+            self.damped_rounds += 1
+            if self.damped_rounds > self.max_damped_rounds:
+                raise ConvergenceError(
+                    f"deltas still growing after {self.max_damped_rounds} "
+                    f"damped rounds (last delta {delta:.3g})",
+                    context=self.context, history=self.history)
+            prev_user, prev_os = self._accepted
+            user_cpi = prev_user + self.damping * (user_cpi - prev_user)
+            os_cpi = prev_os + self.damping * (os_cpi - prev_os)
+            delta = self._delta(user_cpi, os_cpi)
+        self._last_delta = delta
+        self._accepted = (user_cpi, os_cpi)
+        return user_cpi, os_cpi
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint for :func:`repro.experiments.runner.sweep`.
+
+    One line per completed configuration::
+
+        {"key": ..., "schema_version": N, "checksum": ..., "result": {...}}
+
+    ``record`` appends, flushes, and fsyncs, so a completed point
+    survives a kill at any instant; ``load`` skips any line that is
+    truncated, corrupt, checksum-inconsistent, or from another schema
+    generation, which makes resumption safe after arbitrary crashes.
+    """
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+        #: Lines skipped by the last ``load`` (corrupt/truncated/stale).
+        self.skipped = 0
+
+    def load(self) -> dict[str, ConfigResult]:
+        """Completed points by cache key; tolerant of a torn last line."""
+        self.skipped = 0
+        completed: dict[str, ConfigResult] = {}
+        if not self.path.exists():
+            return completed
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    if (not isinstance(entry, dict)
+                            or entry.get("schema_version") != SCHEMA_VERSION):
+                        raise SchemaMismatchError("stale journal entry")
+                    if payload_checksum(entry["result"]) != entry["checksum"]:
+                        raise ValueError("journal checksum mismatch")
+                    completed[entry["key"]] = ConfigResult.from_dict(
+                        entry["result"])
+                except (json.JSONDecodeError, SchemaMismatchError, ValueError,
+                        KeyError, TypeError):
+                    self.skipped += 1
+        return completed
+
+    def record(self, key: str, result: ConfigResult) -> None:
+        """Durably append one completed point."""
+        payload = result.to_dict()
+        entry = {
+            "key": key,
+            "schema_version": SCHEMA_VERSION,
+            "checksum": payload_checksum(payload),
+            "result": payload,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())

@@ -11,12 +11,24 @@ One configuration run is a fixed point between two layers:
 The runner alternates the two until the CPI stabilizes — two to three
 rounds suffice because the coupling is mild — and then evaluates the
 iron law with the converged values.
+
+Resilience (see :mod:`repro.experiments.resilience`): every iterate
+passes a :class:`~repro.experiments.resilience.ConvergenceGuard`
+(NaN/oscillation detection with a damping fallback, raising a
+structured ``ConvergenceError`` when the fixed point diverges), an
+optional wall-clock watchdog bounds each configuration, and
+:func:`sweep` checkpoints completed points to a
+:class:`~repro.experiments.resilience.SweepJournal` so a killed sweep
+resumes instead of restarting.  A :class:`~repro.faults.FaultPlan` can
+be threaded through to run the same configuration on a degraded
+substrate; faulted results are cached under a separate key.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Optional
+import time
+from typing import Optional, Union
 
 from repro.core.cpi_model import solve_cpi
 from repro.core.ironlaw import tps as ironlaw_tps
@@ -26,6 +38,12 @@ from repro.experiments.configs import (
     client_count,
 )
 from repro.experiments.records import ConfigResult, ResultCache
+from repro.experiments.resilience import (
+    ConvergenceGuard,
+    SweepJournal,
+    WatchdogTimeout,
+)
+from repro.faults import FaultPlan
 from repro.hw.machine import MachineConfig, XEON_MP_QUAD
 from repro.hw.trace import TraceGenerator, TraceProfile
 from repro.odb.system import OdbConfig, OdbSystem
@@ -35,34 +53,71 @@ _CACHE = ResultCache()
 
 
 def settings_fingerprint(settings: RunnerSettings) -> str:
-    """Short stable hash of the fidelity settings (cache key part)."""
-    text = repr(settings)
+    """Short stable hash of the fidelity settings (cache key part).
+
+    Only fidelity-bearing fields participate: operational knobs like the
+    wall-clock watchdog change when a run *aborts*, never what it
+    computes, so they must not churn cache keys.
+    """
+    text = repr((settings.warmup_txns, settings.measure_txns,
+                 settings.trace_txns, settings.trace_warmup,
+                 settings.fixed_point_rounds, settings.seed,
+                 settings.time_limit_s))
     return hashlib.blake2b(text.encode(), digest_size=6).hexdigest()
+
+
+def configuration_key(machine: MachineConfig, warehouses: int, clients: int,
+                      processors: int, settings: RunnerSettings,
+                      faults: Optional[FaultPlan] = None) -> str:
+    """The cache/journal key of one fully resolved configuration."""
+    return ResultCache.key_for(
+        machine.name, warehouses, clients, processors,
+        settings_fingerprint(settings),
+        faults.fingerprint() if faults is not None else None)
 
 
 def run_configuration(warehouses: int, processors: int,
                       clients: Optional[int] = None,
                       machine: MachineConfig = XEON_MP_QUAD,
                       settings: RunnerSettings = DEFAULT_SETTINGS,
-                      use_cache: bool = True) -> ConfigResult:
+                      use_cache: bool = True,
+                      faults: Optional[FaultPlan] = None) -> ConfigResult:
     """Run one (W, C, P) configuration end-to-end.
 
     ``clients`` defaults to the Table 1 client count for (W, P).
+    ``faults`` injects a :class:`~repro.faults.FaultPlan` into the
+    system DES; the microarchitecture model sees only the resulting
+    behavior shift (IPX, reads, switches), which is exactly how a real
+    degraded substrate would reach the hardware counters.
+
+    Raises :class:`~repro.experiments.resilience.ConvergenceError` when
+    the CPI fixed point diverges and
+    :class:`~repro.experiments.resilience.WatchdogTimeout` when
+    ``settings.wall_clock_limit_s`` is exceeded between coupled rounds.
     """
     if clients is None:
         clients = client_count(warehouses, processors)
-    key = ResultCache.key_for(machine.name, warehouses, clients, processors,
-                              settings_fingerprint(settings))
+    key = configuration_key(machine, warehouses, clients, processors,
+                            settings, faults)
     if use_cache:
         cached = _CACHE.load(key)
         if cached is not None:
             return cached
 
+    context = (f"{machine.name} W={warehouses} C={clients} P={processors}"
+               + (" faulted" if faults is not None else ""))
+    started = time.monotonic()
+    guard = ConvergenceGuard(context=context)
     user_cpi, os_cpi = 2.5, 2.0
     system_metrics = None
     rates = None
     solution = None
     for round_index in range(settings.fixed_point_rounds):
+        if settings.wall_clock_limit_s is not None and round_index > 0:
+            elapsed = time.monotonic() - started
+            if elapsed > settings.wall_clock_limit_s:
+                raise WatchdogTimeout(settings.wall_clock_limit_s, elapsed,
+                                      context=context)
         config = OdbConfig(
             warehouses=warehouses,
             clients=clients,
@@ -71,6 +126,7 @@ def run_configuration(warehouses: int, processors: int,
             seed=settings.seed,
             user_cpi=user_cpi,
             os_cpi=os_cpi,
+            faults=faults,
         )
         system_metrics = OdbSystem(config).run(
             warmup_txns=settings.warmup_txns,
@@ -92,7 +148,7 @@ def run_configuration(warehouses: int, processors: int,
         rates = generator.run(settings.trace_txns,
                               warmup=settings.trace_warmup)
         solution = solve_cpi(rates, machine, processors)
-        user_cpi, os_cpi = solution.user_cpi, solution.os_cpi
+        user_cpi, os_cpi = guard.admit(solution.user_cpi, solution.os_cpi)
 
     assert system_metrics is not None and rates is not None \
         and solution is not None
@@ -119,15 +175,39 @@ def run_configuration(warehouses: int, processors: int,
 def sweep(warehouse_grid, processors: int,
           machine: MachineConfig = XEON_MP_QUAD,
           settings: RunnerSettings = DEFAULT_SETTINGS,
-          clients_fn=None, use_cache: bool = True) -> list[ConfigResult]:
-    """Run a warehouse sweep at a fixed processor count."""
+          clients_fn=None, use_cache: bool = True,
+          faults: Optional[FaultPlan] = None,
+          journal: Optional[Union[SweepJournal, str]] = None
+          ) -> list[ConfigResult]:
+    """Run a warehouse sweep at a fixed processor count.
+
+    With ``journal`` (a :class:`~repro.experiments.resilience.SweepJournal`
+    or a path to one), every completed point is durably appended before
+    the next one starts; a sweep killed mid-grid resumes from the
+    journal and recomputes only the missing points, producing results
+    identical to an uninterrupted sweep.
+    """
+    if journal is not None and not isinstance(journal, SweepJournal):
+        journal = SweepJournal(journal)
+    completed = journal.load() if journal is not None else {}
     results = []
     for warehouses in warehouse_grid:
         clients = (clients_fn(warehouses, processors)
                    if clients_fn is not None else None)
-        results.append(run_configuration(
+        resolved_clients = (clients if clients is not None
+                            else client_count(warehouses, processors))
+        key = configuration_key(machine, warehouses, resolved_clients,
+                                processors, settings, faults)
+        cached = completed.get(key)
+        if cached is not None:
+            results.append(cached)
+            continue
+        result = run_configuration(
             warehouses, processors, clients=clients, machine=machine,
-            settings=settings, use_cache=use_cache))
+            settings=settings, use_cache=use_cache, faults=faults)
+        if journal is not None:
+            journal.record(key, result)
+        results.append(result)
     return results
 
 
@@ -136,9 +216,10 @@ def utilization_for(warehouses: int, processors: int, clients: int,
                     settings: RunnerSettings = DEFAULT_SETTINGS) -> float:
     """CPU utilization at a specific client count (for the Table 1 search).
 
-    Runs a shortened coupled iteration: CPI feedback matters for
-    utilization (a higher CPI stretches CPU bursts and hides more I/O),
-    so one full round plus a re-run is used.
+    Runs the full coupled iteration via :func:`run_configuration`: CPI
+    feedback matters for utilization (a higher CPI stretches CPU bursts
+    and hides more I/O), and the result cache makes the repeated probes
+    of the saturation search cheap.
     """
     result = run_configuration(warehouses, processors, clients=clients,
                                machine=machine, settings=settings,

@@ -8,12 +8,20 @@ engine: lock, touch blocks (blocking on buffer misses), commit.
 
 Clients run with zero think time — the paper controls CPU utilization
 purely through the number of concurrent clients (Section 3.2.1).
+
+Under fault injection (:mod:`repro.faults`) a transaction can abort
+transiently at commit; the client rolls back, backs off with capped
+exponential delay per the plan's :class:`~repro.faults.RetryPolicy`,
+and re-executes the *same* plan.  Abort decisions draw from a fault
+stream derived from the plan's seed, so the workload streams (mix,
+block selection) are untouched and a faulted run stays comparable to
+the healthy run over the same transaction sequence.
 """
 
 from __future__ import annotations
 
 from repro.db.engine import TransactionStats
-from repro.odb.transactions import plan_transaction
+from repro.odb.transactions import abort_weight, plan_transaction
 
 
 def client_process(system, client_id: int):
@@ -21,29 +29,54 @@ def client_process(system, client_id: int):
     scheduler = system.scheduler
     db = system.db
     rng = system.streams.stream(f"client-{client_id}")
+    faults = system.faults
+    abort_rng = None
+    if faults is not None and faults.aborts is not None \
+            and faults.aborts.probability > 0:
+        abort_rng = system.fault_streams.stream(f"abort-{client_id}")
     sequence = 0
     while True:
         profile = system.mix.pick(rng)
         plan = plan_transaction(rng, profile, system.sampler,
                                 system.config.warehouses,
                                 remote_prob=system.config.remote_touch_prob)
-        owner = (client_id, sequence)
-        sequence += 1
-        stats = TransactionStats()
-        claim = scheduler.acquire()
-        yield claim
-        # Hot-row locks first, in plan order (fixed order: no deadlock).
-        for key in plan.lock_keys:
-            claim = yield from db.lock(claim, owner, key, stats)
-        # User work interleaved with block touches.
-        chunk = profile.user_instructions / (len(plan.touches) + 1)
-        for block_id, write in plan.touches:
+        attempt = 0
+        while True:
+            attempt += 1
+            owner = (client_id, sequence)
+            sequence += 1
+            stats = TransactionStats()
+            claim = scheduler.acquire()
+            yield claim
+            # Hot-row locks first, in plan order (fixed order: no deadlock).
+            for key in plan.lock_keys:
+                claim = yield from db.lock(claim, owner, key, stats)
+            # User work interleaved with block touches.
+            chunk = profile.user_instructions / (len(plan.touches) + 1)
+            for block_id, write in plan.touches:
+                yield from scheduler.execute_user(chunk)
+                claim = yield from db.access_block(claim, block_id, write,
+                                                   stats)
             yield from scheduler.execute_user(chunk)
-            claim = yield from db.access_block(claim, block_id, write, stats)
-        yield from scheduler.execute_user(chunk)
-        # Per-transaction kernel baseline (IPC with the client, timers).
-        yield from scheduler.execute_os(scheduler.costs.base_per_txn)
-        claim = yield from db.commit(claim, owner, stats,
-                                     redo_bytes=profile.redo_bytes)
-        scheduler.release(claim)
-        system.note_transaction(profile, stats)
+            # Per-transaction kernel baseline (IPC with the client, timers).
+            yield from scheduler.execute_os(scheduler.costs.base_per_txn)
+            if abort_rng is not None and (
+                    abort_rng.random()
+                    < faults.aborts.probability * abort_weight(profile)):
+                # Transient abort: roll back (locks drop, work done so far
+                # stays spent), give up the CPU, back off, and retry.
+                db.abort(owner)
+                yield from scheduler.block(claim)
+                if attempt >= faults.retry.max_attempts:
+                    system.abandoned.add()
+                    break
+                system.retries.add()
+                backoff = faults.retry.backoff_s(attempt)
+                if backoff > 0:
+                    yield system.engine.timeout(backoff)
+                continue
+            claim = yield from db.commit(claim, owner, stats,
+                                         redo_bytes=profile.redo_bytes)
+            scheduler.release(claim)
+            system.note_transaction(profile, stats)
+            break

@@ -12,6 +12,7 @@ split, disk I/O and context switches per transaction, utilization).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.db.blocks import BlockSpace
 from repro.db.buffer_cache import BufferCache
@@ -19,6 +20,7 @@ from repro.db.dbwriter import DbWriter
 from repro.db.engine import DatabaseEngine, TransactionStats
 from repro.db.locks import LockTable
 from repro.db.redo import RedoLog, log_writer_process
+from repro.faults import DiskFaultModel, FaultPlan, lock_storm_process
 from repro.hw.machine import MachineConfig, XEON_MP_QUAD
 from repro.odb.client import client_process
 from repro.odb.mix import TransactionMix
@@ -29,6 +31,7 @@ from repro.osmodel.kernelcost import KernelCosts
 from repro.osmodel.scheduler import Scheduler
 from repro.sim import Engine
 from repro.sim.randomness import RandomStreams
+from repro.sim.stats import Counter
 
 #: A real database block: a buffer-cache miss is one physical read of
 #: this size regardless of the block-unit resolution (DESIGN.md §6).
@@ -53,6 +56,10 @@ class OdbConfig:
     #: fixed-point iteration with the microarchitecture model.
     user_cpi: float = 2.5
     os_cpi: float = 2.0
+    #: Optional fault-injection plan (repro.faults); None = healthy run.
+    #: Strictly opt-in: with no plan the simulation is bit-identical to a
+    #: build without the fault layer.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.warehouses <= 0 or self.clients <= 0:
@@ -98,6 +105,11 @@ class SystemMetrics:
     read_latency_s: float
     commit_wait_s: float
     group_commit_size: float
+    #: Fault-injection resilience counters (0.0 on a healthy run): how
+    #: many transient aborts and client retries happened per *committed*
+    #: transaction.
+    aborts_per_txn: float = 0.0
+    retries_per_txn: float = 0.0
 
     @property
     def ipx(self) -> float:
@@ -149,9 +161,29 @@ class OdbSystem:
         self.mix = TransactionMix()
         self.sampler = _SegmentSampler(self.space)
         self._txn_log: list[tuple[str, TransactionStats]] = []
+        # Fault injection (strictly opt-in; see repro.faults).  Fault
+        # randomness derives from the plan's own seed so the workload
+        # streams stay untouched.
+        self.faults = config.faults
+        self.fault_streams = None
+        self.retries = Counter("txn-retries")
+        self.abandoned = Counter("txn-abandoned")
+        log_stalls: tuple = ()
+        if self.faults is not None:
+            self.fault_streams = RandomStreams(self.faults.seed)
+            if self.faults.disks:
+                self.disks.fault_model = DiskFaultModel(
+                    self.faults, self.disks.data_disk_count)
+            log_stalls = self.faults.log_stalls
+            for index, storm in enumerate(self.faults.lock_storms):
+                self.engine.process(lock_storm_process(
+                    self.engine, self.lock_table, storm, config.warehouses,
+                    self.fault_streams.stream(f"storm-{index}"),
+                    storm_index=index))
         # Background processes.
         self.engine.process(log_writer_process(
-            self.engine, self.redo, self.disks, self.scheduler))
+            self.engine, self.redo, self.disks, self.scheduler,
+            stalls=log_stalls))
         self.engine.process(self.dbwriter.process())
         self.engine.process(self.dbwriter.checkpoint_process(self.buffer_cache))
         for client_id in range(config.clients):
@@ -200,6 +232,8 @@ class OdbSystem:
         snap.update({
             "time": self.engine.now,
             "transactions": self.db.transactions.snapshot(),
+            "aborted": self.db.aborted.snapshot(),
+            "retries": self.retries.snapshot(),
             "physical_reads": self.db.physical_reads.snapshot(),
             "logical_reads": self.db.logical_reads.snapshot(),
             "lock_wait_switches": self.db.lock_wait_switches.snapshot(),
@@ -282,4 +316,6 @@ class OdbSystem:
             read_latency_s=self.disks.read_latency.mean,
             commit_wait_s=self.redo.commit_wait.mean,
             group_commit_size=self.redo.group_size.mean,
+            aborts_per_txn=per_txn("aborted"),
+            retries_per_txn=per_txn("retries"),
         )

@@ -156,6 +156,30 @@ def mean_redo_bytes(
     return sum(p.weight * p.redo_bytes for p in profiles) / total_weight
 
 
+def abort_weight(profile: TransactionProfile) -> float:
+    """Relative transient-abort likelihood of a transaction type.
+
+    Fault injection (:class:`repro.faults.TransientAborts`) scales its
+    base probability by this: transactions with a larger write and lock
+    footprint are the plausible deadlock victims and transient-error
+    targets, while read-only types (order_status, stock_level) are
+    nearly immune.  Normalized so the mix-weighted mean is 1.0 — a base
+    probability of ``p`` still aborts ``p`` of all transactions.
+    """
+    raw = _raw_abort_weight(profile)
+    total_weight = sum(p.weight for p in STANDARD_PROFILES)
+    mean_raw = sum(p.weight * _raw_abort_weight(p)
+                   for p in STANDARD_PROFILES) / total_weight
+    return raw / mean_raw
+
+
+def _raw_abort_weight(profile: TransactionProfile) -> float:
+    writes = sum(spec.count * spec.write_prob for spec in profile.touches)
+    locks = (int(profile.locks_warehouse_row)
+             + int(profile.locks_district_row))
+    return 0.1 + writes + 2.0 * locks
+
+
 class _SegmentSampler:
     """Cached Zipf CDFs per (segment, skew) for block picking."""
 

@@ -13,11 +13,15 @@ at 1200 warehouses the 26-disk array can no longer keep 4 processors at
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.hw.machine import DiskConfig
 from repro.sim import Engine, Resource
 from repro.sim.randomness import RandomStreams, lognormal_about
 from repro.sim.stats import Counter, Tally
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import DiskFaultModel
 
 
 @dataclass(frozen=True)
@@ -43,12 +47,15 @@ class DiskArray:
     WRITE_SERVICE_FACTOR = 0.25
 
     def __init__(self, engine: Engine, config: DiskConfig,
-                 streams: RandomStreams, log_disks: int = 2):
+                 streams: RandomStreams, log_disks: int = 2,
+                 fault_model: Optional["DiskFaultModel"] = None):
         if log_disks < 0 or log_disks >= config.count:
             raise ValueError(
                 f"log_disks must be in [0, {config.count}), got {log_disks}")
         self.engine = engine
         self.config = config
+        #: Optional degradation state (repro.faults); None = healthy array.
+        self.fault_model = fault_model
         self.data_disk_count = config.count - log_disks
         self.log_disk_count = log_disks
         self._data_disks = [Resource(engine, 1, name=f"disk{i}")
@@ -91,20 +98,31 @@ class DiskArray:
         if self._log_disks:
             index = self._log_seq % self.log_disk_count
             disk = self._log_disks[index]
+            faultable = False
         else:
             index = self._log_seq % self.data_disk_count
             disk = self._data_disks[index]
-        request = yield from self._serve(disk, index, self.LOG_SERVICE_FACTOR)
+            faultable = True
+        request = yield from self._serve(disk, index, self.LOG_SERVICE_FACTOR,
+                                         faultable=faultable)
         self.log_writes.add()
         return request
 
-    def _serve(self, disk: Resource, index: int, service_factor: float = 1.0):
+    def _serve(self, disk: Resource, index: int, service_factor: float = 1.0,
+               faultable: bool = True):
         arrived = self.engine.now
         claim = disk.request()
         yield claim
-        queued = self.engine.now - arrived
         service = service_factor * lognormal_about(
             self._rng, self.config.service_time_s, self.config.service_time_cv)
+        if faultable and self.fault_model is not None:
+            # An outage holds the disk (and its queue) until the window
+            # closes; degradation then stretches the service itself.
+            outage = self.fault_model.outage_wait_s(index, self.engine.now)
+            if outage > 0:
+                yield self.engine.timeout(outage)
+            service *= self.fault_model.latency_factor(index)
+        queued = self.engine.now - arrived
         yield self.engine.timeout(service)
         disk.release(claim)
         return DiskRequest(disk=index, queued_s=queued, service_s=service)

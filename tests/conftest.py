@@ -1,0 +1,11 @@
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolate_cache_env(monkeypatch):
+    """Keep the suite hermetic w.r.t. the ambient REPRO_NO_CACHE setting.
+
+    Tests that exercise the kill switch opt back in with
+    ``monkeypatch.setenv("REPRO_NO_CACHE", "1")``.
+    """
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)

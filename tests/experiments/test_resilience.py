@@ -1,0 +1,243 @@
+"""Harness resilience: convergence guards, watchdog, journal, cache safety."""
+
+import dataclasses
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.experiments.configs import FAST_SETTINGS
+from repro.experiments.records import (
+    SCHEMA_VERSION,
+    ConfigResult,
+    ResultCache,
+    SchemaMismatchError,
+    payload_checksum,
+)
+from repro.experiments.resilience import (
+    ConvergenceError,
+    ConvergenceGuard,
+    SweepJournal,
+    WatchdogTimeout,
+)
+from repro.experiments.runner import (
+    configuration_key,
+    run_configuration,
+    settings_fingerprint,
+    sweep,
+)
+from repro.faults import DiskDegradation, FaultPlan
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_configuration(10, 1, clients=2, settings=FAST_SETTINGS,
+                             use_cache=False)
+
+
+class TestConvergenceGuard:
+    def test_convergent_trajectory_passes_through(self):
+        guard = ConvergenceGuard()
+        trajectory = [(3.0, 2.6), (2.7, 2.4), (2.68, 2.39), (2.679, 2.389)]
+        for user, os_ in trajectory:
+            assert guard.admit(user, os_) == (user, os_)
+        assert guard.damped_rounds == 0
+
+    def test_nan_raises(self):
+        guard = ConvergenceGuard(context="W=10 P=1")
+        with pytest.raises(ConvergenceError) as error:
+            guard.admit(float("nan"), 2.0)
+        assert "W=10 P=1" in str(error.value)
+
+    def test_infinity_and_nonpositive_raise(self):
+        with pytest.raises(ConvergenceError):
+            ConvergenceGuard().admit(float("inf"), 2.0)
+        with pytest.raises(ConvergenceError):
+            ConvergenceGuard().admit(-1.0, 2.0)
+
+    def test_growing_oscillation_is_damped(self):
+        guard = ConvergenceGuard(damping=0.5)
+        guard.admit(2.0, 2.0)
+        guard.admit(2.2, 2.0)  # delta 0.1
+        # Raw next iterate swings 0.4 away — worse than the last delta.
+        user, os_ = guard.admit(3.0, 2.0)
+        assert guard.damped_rounds == 1
+        assert user == pytest.approx(2.6)  # halfway back toward 2.2
+        assert os_ == pytest.approx(2.0)
+
+    def test_persistent_divergence_raises(self):
+        guard = ConvergenceGuard(damping=0.5, max_damped_rounds=2)
+        value = 2.0
+        guard.admit(value, 2.0)
+        with pytest.raises(ConvergenceError) as error:
+            step = 0.1
+            for _ in range(20):
+                value += step
+                step *= 4  # every swing larger than the last
+                guard.admit(value, 2.0)
+        assert "damped rounds" in str(error.value)
+        assert error.value.history  # full trajectory preserved
+
+
+class TestRunnerGuards:
+    def test_watchdog_fires_between_rounds(self):
+        settings = dataclasses.replace(FAST_SETTINGS,
+                                       wall_clock_limit_s=1e-9)
+        with pytest.raises(WatchdogTimeout) as error:
+            run_configuration(10, 1, clients=2, settings=settings,
+                              use_cache=False)
+        assert error.value.limit_s == 1e-9
+        assert "W=10" in str(error.value)
+
+    def test_nan_cpi_solution_raises_convergence_error(self, monkeypatch):
+        import repro.experiments.runner as runner_module
+
+        monkeypatch.setattr(
+            runner_module, "solve_cpi",
+            lambda rates, machine, processors: SimpleNamespace(
+                user_cpi=float("nan"), os_cpi=float("nan")))
+        with pytest.raises(ConvergenceError):
+            run_configuration(10, 1, clients=2, settings=FAST_SETTINGS,
+                              use_cache=False)
+
+    def test_watchdog_excluded_from_fingerprint(self):
+        limited = dataclasses.replace(FAST_SETTINGS, wall_clock_limit_s=60.0)
+        assert settings_fingerprint(limited) == \
+            settings_fingerprint(FAST_SETTINGS)
+
+    def test_fault_plan_changes_cache_key(self):
+        from repro.hw.machine import XEON_MP_QUAD
+
+        plan = FaultPlan(disks=(DiskDegradation(latency_factor=2.0),))
+        healthy = configuration_key(XEON_MP_QUAD, 10, 2, 1, FAST_SETTINGS)
+        faulted = configuration_key(XEON_MP_QUAD, 10, 2, 1, FAST_SETTINGS,
+                                    faults=plan)
+        assert healthy != faulted
+        assert faulted.endswith(f"-f{plan.fingerprint()}")
+
+
+class TestSweepJournal:
+    def test_roundtrip(self, tmp_path, result):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record("key-a", result)
+        assert journal.load() == {"key-a": result}
+
+    def test_torn_last_line_skipped(self, tmp_path, result):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record("key-a", result)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "key-b", "schema_ver')  # the kill case
+        loaded = journal.load()
+        assert set(loaded) == {"key-a"}
+        assert journal.skipped == 1
+
+    def test_stale_schema_entry_skipped(self, tmp_path, result):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        payload = result.to_dict()
+        entry = {"key": "old", "schema_version": SCHEMA_VERSION - 1,
+                 "checksum": payload_checksum(payload), "result": payload}
+        journal.path.write_text(json.dumps(entry) + "\n")
+        assert journal.load() == {}
+        assert journal.skipped == 1
+
+    def test_checksum_mismatch_skipped(self, tmp_path, result):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record("key-a", result)
+        text = journal.path.read_text()
+        journal.path.write_text(text.replace('"tps_ironlaw":', '"tps_ironlaw_":'))
+        assert journal.load() == {}
+        assert journal.skipped == 1
+
+    def test_kill_and_resume_matches_uninterrupted(self, tmp_path,
+                                                   monkeypatch):
+        import repro.experiments.runner as runner_module
+
+        grid = (10, 25, 50)
+
+        def clients_fn(w, p):
+            return 2
+
+        uninterrupted = sweep(grid, 1, settings=FAST_SETTINGS,
+                              clients_fn=clients_fn, use_cache=False)
+
+        calls = {"n": 0}
+        original = runner_module.run_configuration
+
+        def killed_mid_grid(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise KeyboardInterrupt("simulated kill")
+            return original(*args, **kwargs)
+
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        monkeypatch.setattr(runner_module, "run_configuration",
+                            killed_mid_grid)
+        with pytest.raises(KeyboardInterrupt):
+            sweep(grid, 1, settings=FAST_SETTINGS, clients_fn=clients_fn,
+                  use_cache=False, journal=journal)
+        monkeypatch.setattr(runner_module, "run_configuration", original)
+
+        # Two points survived the kill; resume recomputes only the third.
+        assert len(journal.load()) == 2
+        resumed = sweep(grid, 1, settings=FAST_SETTINGS,
+                        clients_fn=clients_fn, use_cache=False,
+                        journal=journal)
+        assert resumed == uninterrupted
+        assert len(journal.load()) == 3
+
+
+class TestCrashSafeCache:
+    def test_store_is_atomic_no_temp_residue(self, tmp_path, result):
+        cache = ResultCache(directory=tmp_path)
+        cache.store("k", result)
+        assert cache.load("k") == result
+        assert not list(tmp_path.glob("*.tmp"))
+        assert not list(tmp_path.glob(".*.tmp"))
+
+    def test_truncated_entry_quarantined(self, tmp_path, result):
+        cache = ResultCache(directory=tmp_path)
+        cache.store("k", result)
+        path = tmp_path / "k.json"
+        path.write_text(path.read_text()[:40])  # simulated torn write
+        assert cache.load("k") is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert (tmp_path / "quarantine" / "k.json").exists()
+
+    def test_checksum_mismatch_quarantined(self, tmp_path, result):
+        cache = ResultCache(directory=tmp_path)
+        cache.store("k", result)
+        path = tmp_path / "k.json"
+        data = json.loads(path.read_text())
+        data["result"]["tps_ironlaw"] += 1.0  # silent bit-rot
+        path.write_text(json.dumps(data))
+        assert cache.load("k") is None
+        assert (tmp_path / "quarantine" / "k.json").exists()
+
+    def test_stale_schema_deleted_not_quarantined(self, tmp_path, result):
+        cache = ResultCache(directory=tmp_path)
+        path = tmp_path / "k.json"
+        tmp_path.mkdir(exist_ok=True)
+        # Pre-envelope format (the seed repo's layout): clean invalidation.
+        path.write_text(json.dumps(result.to_dict()))
+        assert cache.load("k") is None
+        assert not path.exists()
+        assert cache.quarantined == 0
+        assert not (tmp_path / "quarantine").exists()
+
+    def test_no_cache_env_disables(self, tmp_path, result, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        cache = ResultCache(directory=tmp_path)
+        cache.store("k", result)
+        assert not list(tmp_path.glob("*.json"))
+        assert cache.load("k") is None
+
+    def test_schema_version_serialized_and_enforced(self, result):
+        data = result.to_dict()
+        assert data["schema_version"] == SCHEMA_VERSION
+        stale = dict(data, schema_version=SCHEMA_VERSION - 1)
+        with pytest.raises(SchemaMismatchError):
+            ConfigResult.from_dict(stale)
+        missing = {k: v for k, v in data.items() if k != "schema_version"}
+        with pytest.raises(SchemaMismatchError):
+            ConfigResult.from_dict(missing)

@@ -1,0 +1,91 @@
+"""System-level fault injection: aborts/retries, storms, log stalls."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    LockStorm,
+    LogStall,
+    RetryPolicy,
+    TransientAborts,
+)
+from repro.odb.system import OdbConfig, OdbSystem
+
+RUN_KW = dict(warmup_txns=50, measure_txns=300, prewarm_plans=1000,
+              time_limit_s=120.0)
+
+
+def run_system(faults=None, **config_kw):
+    config = OdbConfig(warehouses=10, clients=4, processors=2,
+                       faults=faults, **config_kw)
+    return OdbSystem(config).run(**RUN_KW)
+
+
+class TestHealthyBaseline:
+    def test_no_plan_reports_zero_fault_metrics(self):
+        metrics = run_system()
+        assert metrics.aborts_per_txn == 0.0
+        assert metrics.retries_per_txn == 0.0
+
+    def test_empty_plan_matches_healthy_run(self):
+        # An installed-but-empty plan must not perturb the simulation:
+        # fault streams are only drawn when a fault actually fires.
+        healthy = run_system()
+        empty = run_system(faults=FaultPlan())
+        assert empty == healthy
+
+
+class TestTransientAborts:
+    def make_plan(self, probability=0.05, **retry_kw):
+        return FaultPlan(seed=3, aborts=TransientAborts(probability),
+                         retry=RetryPolicy(**retry_kw))
+
+    def test_aborts_and_retries_surface_in_metrics(self):
+        metrics = run_system(faults=self.make_plan())
+        assert metrics.aborts_per_txn > 0.0
+        assert metrics.retries_per_txn > 0.0
+        # With generous max_attempts nearly every abort is retried.
+        assert metrics.retries_per_txn == pytest.approx(
+            metrics.aborts_per_txn, rel=0.2)
+
+    def test_deterministic_under_fixed_seed(self):
+        plan = self.make_plan()
+        assert run_system(faults=plan) == run_system(faults=plan)
+
+    def test_fault_seed_changes_fault_draws_only(self):
+        a = run_system(faults=self.make_plan())
+        b = run_system(faults=dataclasses.replace(self.make_plan(), seed=4))
+        assert a.aborts_per_txn != b.aborts_per_txn
+
+    def test_single_attempt_policy_abandons(self):
+        metrics = run_system(faults=self.make_plan(max_attempts=1))
+        # No retries allowed: every abort is abandoned outright.
+        assert metrics.aborts_per_txn > 0.0
+        assert metrics.retries_per_txn == 0.0
+
+    def test_throughput_degrades_with_heavy_aborts(self):
+        healthy = run_system()
+        faulted = run_system(faults=self.make_plan(probability=0.25))
+        assert faulted.tps < healthy.tps
+
+
+class TestLockStorm:
+    def test_storm_raises_lock_waits(self):
+        storm = LockStorm(start_s=0.0, duration_s=60.0,
+                          warehouses_per_burst=5, hold_s=0.02,
+                          interval_s=0.005)
+        healthy = run_system()
+        stormy = run_system(faults=FaultPlan(lock_storms=(storm,)))
+        assert stormy.lock_waits_per_txn > healthy.lock_waits_per_txn
+        assert stormy.tps < healthy.tps
+
+
+class TestLogStall:
+    def test_stall_inflates_commit_wait(self):
+        stall = LogStall(windows=((0.2, 0.6), (1.0, 1.4)))
+        healthy = run_system()
+        stalled = run_system(faults=FaultPlan(log_stalls=(stall,)))
+        assert stalled.commit_wait_s > healthy.commit_wait_s
+        assert stalled.group_commit_size > healthy.group_commit_size
