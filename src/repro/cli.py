@@ -14,7 +14,10 @@
 ``--fast`` trades fidelity for speed on any simulating command (the
 same settings the test suite uses).  ``--faults plan.json`` injects a
 :class:`repro.faults.FaultPlan` (degraded disks, log stalls, lock
-storms, transient aborts) into ``run`` and ``sweep``.
+storms, transient aborts) into ``run`` and ``sweep``.  ``--jobs N``
+fans independent configuration runs across ``N`` worker processes
+(default: one per CPU; results are bit-identical to serial, see
+DESIGN.md §8); ``REPRO_SERIAL=1`` forces serial execution.
 """
 
 from __future__ import annotations
@@ -32,13 +35,13 @@ from repro.experiments.configs import (
     FULL_WAREHOUSE_GRID,
     RunnerSettings,
 )
-from repro.experiments.records import ResultCache
+from repro.experiments.parallel import sweep_parallel
 from repro.experiments.report import render_series, render_table
 from repro.experiments.resilience import SweepJournal
 from repro.experiments.runner import (
+    default_cache,
     run_configuration,
     settings_fingerprint,
-    sweep,
 )
 from repro.faults import FaultPlan
 from repro.hw.machine import XEON_MP_QUAD, machine_by_name
@@ -71,6 +74,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 def _add_faults(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--faults", default=None, metavar="PLAN.json",
                         help="JSON FaultPlan to inject (see repro.faults)")
+
+
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for independent points "
+                             "(default: one per CPU; REPRO_SERIAL=1 "
+                             "forces serial)")
 
 
 def cmd_run(args) -> int:
@@ -146,8 +156,9 @@ def cmd_sweep(args) -> int:
     if journal is not None:
         done = len(journal.load())
         print(f"journal: {journal.path} ({done} point(s) already complete)")
-    records = sweep(grid, args.processors, machine=_machine(args),
-                    settings=_settings(args), faults=faults, journal=journal)
+    records = sweep_parallel(grid, args.processors, machine=_machine(args),
+                             settings=_settings(args), faults=faults,
+                             journal=journal, jobs=args.jobs)
     xs = [r.warehouses for r in records]
     series = {
         "TPS": [r.tps for r in records],
@@ -171,8 +182,8 @@ def cmd_sweep(args) -> int:
 
 def cmd_pivot(args) -> int:
     grid = _parse_grid(args.grid)
-    records = sweep(grid, args.processors, machine=_machine(args),
-                    settings=_settings(args))
+    records = sweep_parallel(grid, args.processors, machine=_machine(args),
+                             settings=_settings(args), jobs=args.jobs)
     xs = [r.warehouses for r in records]
     if args.metric == "cpi":
         ys = [r.cpi.cpi for r in records]
@@ -198,7 +209,8 @@ def cmd_pivot(args) -> int:
 def cmd_table1(args) -> int:
     from repro.experiments import exp_table1
 
-    result = exp_table1.run(machine=_machine(args), settings=_settings(args))
+    result = exp_table1.run(machine=_machine(args), settings=_settings(args),
+                            jobs=args.jobs)
     print(exp_table1.render(result))
     return 0
 
@@ -227,7 +239,7 @@ def cmd_variability(args) -> int:
 
 
 def cmd_clear_cache(_args) -> int:
-    removed = ResultCache().clear()
+    removed = default_cache().clear()
     print(f"removed {removed} cached result(s)")
     return 0
 
@@ -261,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="explicit journal file (implies --resume)")
     _add_common(sweep_parser)
     _add_faults(sweep_parser)
+    _add_jobs(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
     pivot_parser = commands.add_parser("pivot",
@@ -270,11 +283,13 @@ def build_parser() -> argparse.ArgumentParser:
                               default="cpi")
     pivot_parser.add_argument("--grid", default=None)
     _add_common(pivot_parser)
+    _add_jobs(pivot_parser)
     pivot_parser.set_defaults(func=cmd_pivot)
 
     table1_parser = commands.add_parser(
         "table1", help="clients for 90%% CPU utilization")
     _add_common(table1_parser)
+    _add_jobs(table1_parser)
     table1_parser.set_defaults(func=cmd_table1)
 
     var_parser = commands.add_parser(

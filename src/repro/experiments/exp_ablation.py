@@ -27,9 +27,9 @@ from repro.experiments.configs import (
     IO_BOUND_WAREHOUSES,
     RunnerSettings,
 )
+from repro.experiments.parallel import RunSpec, run_many
 from repro.experiments.records import ConfigResult
 from repro.experiments.report import render_table
-from repro.experiments.runner import run_configuration, sweep
 from repro.faults import DiskDegradation, FaultPlan
 from repro.hw.machine import XEON_MP_QUAD, MachineConfig
 
@@ -42,13 +42,18 @@ class L3SweepResult:
 def l3_size_sweep(sizes=(512 * 1024, 1024 * 1024, 2 * 1024 * 1024),
                   processors: int = 4,
                   settings: RunnerSettings = DEFAULT_SETTINGS,
-                  warehouses=FULL_WAREHOUSE_GRID) -> L3SweepResult:
+                  warehouses=FULL_WAREHOUSE_GRID,
+                  jobs: Optional[int] = None) -> L3SweepResult:
     """A1: CPI pivot as a function of L3 capacity."""
+    specs = [RunSpec(warehouses=w, processors=processors,
+                     machine=XEON_MP_QUAD.with_l3_size(size),
+                     settings=settings)
+             for size in sizes for w in warehouses]
+    results = run_many(specs, jobs=jobs)
     analyses = {}
-    for size in sizes:
-        machine = XEON_MP_QUAD.with_l3_size(size)
-        records = sweep(warehouses, processors, machine=machine,
-                        settings=settings)
+    per_size = len(tuple(warehouses))
+    for index, size in enumerate(sizes):
+        records = results[index * per_size:(index + 1) * per_size]
         analyses[size] = pivot_point(
             [r.warehouses for r in records], [r.cpi.cpi for r in records],
             metric="cpi", processors=processors)
@@ -76,15 +81,15 @@ class DiskSweepResult:
 
 def disk_sweep(counts=(18, 26, 52), warehouses: int = 800,
                processors: int = 4,
-               settings: RunnerSettings = DEFAULT_SETTINGS) -> DiskSweepResult:
+               settings: RunnerSettings = DEFAULT_SETTINGS,
+               jobs: Optional[int] = None) -> DiskSweepResult:
     """A2: scaled-region behavior as a function of disk count."""
-    records = {}
-    for count in counts:
-        machine = XEON_MP_QUAD.with_disks(count)
-        records[count] = run_configuration(warehouses, processors,
-                                           machine=machine,
-                                           settings=settings)
-    return DiskSweepResult(records=records)
+    specs = [RunSpec(warehouses=warehouses, processors=processors,
+                     machine=XEON_MP_QUAD.with_disks(count),
+                     settings=settings)
+             for count in counts]
+    results = run_many(specs, jobs=jobs)
+    return DiskSweepResult(records=dict(zip(counts, results)))
 
 
 def render_disk_sweep(result: DiskSweepResult) -> str:
@@ -136,7 +141,8 @@ def degraded_disk_plan(latency_factor: float = 3.0,
 def fault_sweep(warehouses=(200, 400, 600, 800, IO_BOUND_WAREHOUSES),
                 processors: int = 4, latency_factor: float = 3.0,
                 settings: RunnerSettings = DEFAULT_SETTINGS,
-                machine: MachineConfig = XEON_MP_QUAD) -> FaultSweepResult:
+                machine: MachineConfig = XEON_MP_QUAD,
+                jobs: Optional[int] = None) -> FaultSweepResult:
     """Degraded disks vs the Figure 2 I/O-bound region and Table 5 pivot.
 
     Runs the same (W, C, P) grid healthy and under
@@ -145,11 +151,14 @@ def fault_sweep(warehouses=(200, 400, 600, 800, IO_BOUND_WAREHOUSES),
     substrate's doing.
     """
     plan = degraded_disk_plan(latency_factor)
-    healthy = sweep(warehouses, processors, machine=machine,
-                    settings=settings)
-    degraded = sweep(warehouses, processors, machine=machine,
-                     settings=settings, faults=plan)
-    return FaultSweepResult(plan=plan, healthy=healthy, degraded=degraded)
+    grid = tuple(warehouses)
+    specs = ([RunSpec(warehouses=w, processors=processors, machine=machine,
+                      settings=settings) for w in grid]
+             + [RunSpec(warehouses=w, processors=processors, machine=machine,
+                        settings=settings, faults=plan) for w in grid])
+    results = run_many(specs, jobs=jobs)
+    return FaultSweepResult(plan=plan, healthy=results[:len(grid)],
+                            degraded=results[len(grid):])
 
 
 def render_fault_sweep(result: FaultSweepResult) -> str:
@@ -186,12 +195,14 @@ class CoherenceResult:
 
 def coherence_sweep(warehouses: int = 400,
                     settings: RunnerSettings = DEFAULT_SETTINGS,
-                    machine: MachineConfig = XEON_MP_QUAD) -> CoherenceResult:
+                    machine: MachineConfig = XEON_MP_QUAD,
+                    jobs: Optional[int] = None) -> CoherenceResult:
     """A3: coherence contribution vs processor count."""
-    return CoherenceResult(by_processors={
-        p: run_configuration(warehouses, p, machine=machine,
-                             settings=settings)
-        for p in (1, 2, 4)})
+    grid = (1, 2, 4)
+    specs = [RunSpec(warehouses=warehouses, processors=p, machine=machine,
+                     settings=settings) for p in grid]
+    results = run_many(specs, jobs=jobs)
+    return CoherenceResult(by_processors=dict(zip(grid, results)))
 
 
 def render_coherence(result: CoherenceResult) -> str:

@@ -8,6 +8,7 @@ own ``render_*`` producing exactly the series the paper plots.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.experiments.configs import (
     DEFAULT_SETTINGS,
@@ -15,9 +16,9 @@ from repro.experiments.configs import (
     PROCESSOR_GRID,
     RunnerSettings,
 )
+from repro.experiments.parallel import RunSpec, run_many
 from repro.experiments.records import ConfigResult
 from repro.experiments.report import render_series
-from repro.experiments.runner import sweep
 from repro.hw.machine import MachineConfig, XEON_MP_QUAD
 
 
@@ -37,10 +38,18 @@ class SystemSweep:
 def run(machine: MachineConfig = XEON_MP_QUAD,
         settings: RunnerSettings = DEFAULT_SETTINGS,
         processors=PROCESSOR_GRID,
-        warehouses=FULL_WAREHOUSE_GRID) -> SystemSweep:
-    return SystemSweep(by_processors={
-        p: sweep(warehouses, p, machine=machine, settings=settings)
-        for p in processors})
+        warehouses=FULL_WAREHOUSE_GRID,
+        jobs: Optional[int] = None) -> SystemSweep:
+    # Every (W, P) point is independent, so the whole P x W grid fans
+    # out at once instead of one serial sweep per processor count.
+    specs = [RunSpec(warehouses=w, processors=p, machine=machine,
+                     settings=settings)
+             for p in processors for w in warehouses]
+    results = run_many(specs, jobs=jobs)
+    by_processors: dict[int, list[ConfigResult]] = {p: [] for p in processors}
+    for spec, result in zip(specs, results):
+        by_processors[spec.processors].append(result)
+    return SystemSweep(by_processors=by_processors)
 
 
 def render_fig03(result: SystemSweep, processors: int = 4) -> str:

@@ -9,6 +9,7 @@ measured utilization reaches 90%.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.saturation import SaturationResult, clients_for_utilization
 from repro.experiments.configs import (
@@ -17,6 +18,7 @@ from repro.experiments.configs import (
     RunnerSettings,
     TABLE1_WAREHOUSES,
 )
+from repro.experiments.parallel import map_parallel
 from repro.experiments.report import render_table
 from repro.experiments.runner import utilization_for
 from repro.hw.machine import MachineConfig, XEON_MP_QUAD
@@ -40,17 +42,30 @@ class Table1Result:
         return self.entries[(processors, warehouses)].clients
 
 
+def _solve_cell(cell: tuple) -> SaturationResult:
+    """One (P, W) saturation search (top-level: picklable pool work).
+
+    The search is inherently sequential — each probe's client count
+    depends on the previous utilization — so the parallel grain is the
+    whole cell, not the probe.
+    """
+    p, w, machine, settings, target, max_clients = cell
+    return clients_for_utilization(
+        lambda c: utilization_for(w, p, c, machine=machine,
+                                  settings=settings),
+        target=target, maximum=max_clients)
+
+
 def run(machine: MachineConfig = XEON_MP_QUAD,
         settings: RunnerSettings = DEFAULT_SETTINGS,
         warehouses=TABLE1_WAREHOUSES, processors=PROCESSOR_GRID,
-        target: float = 0.90, max_clients: int = 96) -> Table1Result:
-    entries = {}
-    for p in processors:
-        for w in warehouses:
-            entries[(p, w)] = clients_for_utilization(
-                lambda c: utilization_for(w, p, c, machine=machine,
-                                          settings=settings),
-                target=target, maximum=max_clients)
+        target: float = 0.90, max_clients: int = 96,
+        jobs: Optional[int] = None) -> Table1Result:
+    cells = [(p, w, machine, settings, target, max_clients)
+             for p in processors for w in warehouses]
+    solved = map_parallel(_solve_cell, cells, jobs=jobs)
+    entries = {(p, w): result
+               for (p, w, *_), result in zip(cells, solved)}
     return Table1Result(entries=entries, target=target)
 
 

@@ -1,0 +1,241 @@
+"""Process-parallel execution of independent configuration runs.
+
+Every (W, C, P) point is a fully seeded, deterministic computation: the
+seed tree (:class:`~repro.sim.randomness.RandomStreams`) is derived from
+the configuration alone, so two runs of the same point — in the same
+process, in another process, on another machine — produce bit-identical
+:class:`~repro.experiments.records.ConfigResult` payloads.  That makes a
+sweep embarrassingly parallel, and this module fans the points across a
+``ProcessPoolExecutor`` without touching the simulation itself.
+
+Safety and determinism rules (DESIGN.md §8):
+
+- **Results are ordered by the input grid**, never by completion order,
+  so a parallel sweep returns exactly what the serial one does.
+- **Workers share the result cache directory.**  ``ResultCache.store``
+  publishes through a per-process temp file and ``os.replace``, which is
+  atomic on POSIX, so concurrent writers of the same key can only race
+  toward identical bytes.
+- **Journal appends happen only in the parent.**  JSONL appends from
+  multiple processes could interleave torn lines; the parent serializes
+  :meth:`~repro.experiments.resilience.SweepJournal.record` calls as
+  futures complete.
+- **Serial fallback.**  ``REPRO_SERIAL=1`` (or ``jobs=1``) forces the
+  plain in-process path, and a broken pool (a worker killed by the OOM
+  killer, a sandbox that forbids forking) degrades to the serial path
+  instead of failing the sweep — completed points are already cached, so
+  nothing is recomputed.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence, TypeVar, Union
+
+from repro.experiments.configs import (
+    DEFAULT_SETTINGS,
+    RunnerSettings,
+    client_count,
+)
+from repro.experiments.records import ConfigResult, ResultCache
+from repro.experiments.resilience import SweepJournal
+from repro.experiments.runner import (
+    configuration_key,
+    run_configuration,
+    sweep,
+)
+from repro.faults import FaultPlan
+from repro.hw.machine import MachineConfig, XEON_MP_QUAD
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable forcing every parallel entry point serial.
+SERIAL_ENV = "REPRO_SERIAL"
+
+#: Pool-level failures that trigger the serial fallback rather than an
+#: error: a worker dying (OOM kill, sandbox signal) breaks the pool, and
+#: an environment that cannot fork at all raises ``OSError`` up front.
+_POOL_FAILURES = (BrokenProcessPool, OSError)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully resolved configuration to run (picklable work unit)."""
+
+    warehouses: int
+    processors: int
+    clients: Optional[int] = None
+    machine: MachineConfig = XEON_MP_QUAD
+    settings: RunnerSettings = DEFAULT_SETTINGS
+    faults: Optional[FaultPlan] = None
+
+    @property
+    def resolved_clients(self) -> int:
+        if self.clients is not None:
+            return self.clients
+        return client_count(self.warehouses, self.processors)
+
+    def key(self) -> str:
+        """The cache/journal key this spec runs under."""
+        return configuration_key(self.machine, self.warehouses,
+                                 self.resolved_clients, self.processors,
+                                 self.settings, self.faults)
+
+
+def effective_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count after policy: ``REPRO_SERIAL=1`` wins, ``None``
+    means one worker per CPU, and the result is always >= 1."""
+    if os.environ.get(SERIAL_ENV) == "1":
+        return 1
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _run_spec(spec: RunSpec, cache_dir: Optional[str],
+              use_cache: bool) -> ConfigResult:
+    """Pool worker: run one spec against an explicit cache directory.
+
+    Top-level (picklable by reference).  Each worker process builds its
+    own :class:`ResultCache` handle; all handles point at the same
+    directory, which is safe because ``store`` publishes atomically.
+    """
+    cache = ResultCache(Path(cache_dir)) if cache_dir is not None else None
+    return run_configuration(
+        spec.warehouses, spec.processors, clients=spec.clients,
+        machine=spec.machine, settings=spec.settings,
+        use_cache=use_cache, faults=spec.faults, cache=cache)
+
+
+def _call_item(fn: Callable[[T], R], item: T) -> R:
+    """Pool worker for :func:`map_parallel` (top-level, picklable)."""
+    return fn(item)
+
+
+def run_many(specs: Sequence[RunSpec], jobs: Optional[int] = None,
+             use_cache: bool = True,
+             cache_dir: Optional[Union[str, Path]] = None,
+             on_result: Optional[Callable[[RunSpec, ConfigResult],
+                                          None]] = None
+             ) -> list[ConfigResult]:
+    """Run independent specs across a process pool, grid order preserved.
+
+    ``on_result(spec, result)`` fires in the parent as each point
+    completes (in completion order) — the hook sweeps use for serialized
+    journal appends.  Falls back to in-process execution when the pool
+    cannot be used, so callers never need a serial/parallel branch.
+    """
+    workers = min(effective_jobs(jobs), len(specs)) if specs else 1
+    cache_dir_text = str(cache_dir) if cache_dir is not None else None
+
+    def serially() -> list[ConfigResult]:
+        results = []
+        for spec in specs:
+            result = _run_spec(spec, cache_dir_text, use_cache)
+            if on_result is not None:
+                on_result(spec, result)
+            results.append(result)
+        return results
+
+    if workers <= 1:
+        return serially()
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_run_spec, spec, cache_dir_text, use_cache): index
+                for index, spec in enumerate(specs)
+            }
+            results: list[Optional[ConfigResult]] = [None] * len(specs)
+            for future in as_completed(futures):
+                index = futures[future]
+                result = future.result()
+                results[index] = result
+                if on_result is not None:
+                    on_result(specs[index], result)
+            return results  # type: ignore[return-value]
+    except _POOL_FAILURES:
+        # A broken pool can leave some futures finished and some dead.
+        # Completed points are in the cache; rerun the whole list
+        # serially and let cache hits absorb the overlap.
+        return serially()
+
+
+def map_parallel(fn: Callable[[T], R], items: Sequence[T],
+                 jobs: Optional[int] = None) -> list[R]:
+    """``[fn(item) for item in items]`` across a process pool.
+
+    ``fn`` must be a top-level function and each item picklable; item
+    order is preserved.  Used for coarse-grained independent work that
+    is not a single configuration run — e.g. Table 1's per-(P, W)
+    saturation searches, each of which is internally sequential.
+    Degrades to the list comprehension on ``REPRO_SERIAL=1``, one CPU,
+    or pool breakage.
+    """
+    workers = min(effective_jobs(jobs), len(items)) if items else 1
+    if workers <= 1:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_call_item, fn, item): index
+                       for index, item in enumerate(items)}
+            results: list[Optional[R]] = [None] * len(items)
+            for future in as_completed(futures):
+                results[futures[future]] = future.result()
+            return results  # type: ignore[return-value]
+    except _POOL_FAILURES:
+        return [fn(item) for item in items]
+
+
+def sweep_parallel(warehouse_grid, processors: int,
+                   machine: MachineConfig = XEON_MP_QUAD,
+                   settings: RunnerSettings = DEFAULT_SETTINGS,
+                   clients_fn=None, use_cache: bool = True,
+                   faults: Optional[FaultPlan] = None,
+                   journal: Optional[Union[SweepJournal, str]] = None,
+                   jobs: Optional[int] = None,
+                   cache_dir: Optional[Union[str, Path]] = None
+                   ) -> list[ConfigResult]:
+    """Parallel warehouse sweep, bit-identical to :func:`runner.sweep`.
+
+    Points already in the ``journal`` are reused without running; the
+    rest fan out via :func:`run_many` and are journaled from the parent
+    as they complete.  With one effective worker this delegates to the
+    serial :func:`repro.experiments.runner.sweep` outright (same code
+    path the tests golden-pin).
+    """
+    if journal is not None and not isinstance(journal, SweepJournal):
+        journal = SweepJournal(journal)
+
+    if effective_jobs(jobs) <= 1:
+        cache = ResultCache(Path(cache_dir)) if cache_dir is not None else None
+        return sweep(warehouse_grid, processors, machine=machine,
+                     settings=settings, clients_fn=clients_fn,
+                     use_cache=use_cache, faults=faults, journal=journal,
+                     cache=cache)
+
+    specs = []
+    for warehouses in warehouse_grid:
+        clients = (clients_fn(warehouses, processors)
+                   if clients_fn is not None else None)
+        specs.append(RunSpec(warehouses=warehouses, processors=processors,
+                             clients=clients, machine=machine,
+                             settings=settings, faults=faults))
+
+    completed = journal.load() if journal is not None else {}
+    pending = [spec for spec in specs if spec.key() not in completed]
+
+    def journal_point(spec: RunSpec, result: ConfigResult) -> None:
+        if journal is not None:
+            journal.record(spec.key(), result)
+
+    fresh = run_many(pending, jobs=jobs, use_cache=use_cache,
+                     cache_dir=cache_dir, on_result=journal_point)
+    by_key = dict(completed)
+    for spec, result in zip(pending, fresh):
+        by_key[spec.key()] = result
+    return [by_key[spec.key()] for spec in specs]

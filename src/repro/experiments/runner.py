@@ -27,7 +27,9 @@ substrate; faulted results are cached under a separate key.
 from __future__ import annotations
 
 import hashlib
+import os
 import time
+from pathlib import Path
 from typing import Optional, Union
 
 from repro.core.cpi_model import solve_cpi
@@ -49,7 +51,33 @@ from repro.hw.trace import TraceGenerator, TraceProfile
 from repro.odb.system import OdbConfig, OdbSystem
 from repro.sim.randomness import RandomStreams
 
-_CACHE = ResultCache()
+#: Process-wide default result cache, created lazily by
+#: :func:`default_cache` (honoring ``REPRO_CACHE_DIR``).  Injectable:
+#: every entry point below takes an explicit ``cache`` parameter, so
+#: parallel workers and tests can point at isolated directories instead
+#: of sharing this one.
+_CACHE: Optional[ResultCache] = None
+
+
+def default_cache() -> ResultCache:
+    """The process-wide :class:`ResultCache`.
+
+    Created on first use; the ``REPRO_CACHE_DIR`` environment variable
+    (read at creation time) overrides the repository-default directory,
+    which is how pool workers inherit a redirected cache.  Replace or
+    reset it with :func:`set_default_cache`.
+    """
+    global _CACHE
+    if _CACHE is None:
+        directory = os.environ.get("REPRO_CACHE_DIR")
+        _CACHE = ResultCache(Path(directory) if directory else None)
+    return _CACHE
+
+
+def set_default_cache(cache: Optional[ResultCache]) -> None:
+    """Replace the process-wide cache (``None`` re-derives it lazily)."""
+    global _CACHE
+    _CACHE = cache
 
 
 def settings_fingerprint(settings: RunnerSettings) -> str:
@@ -81,7 +109,8 @@ def run_configuration(warehouses: int, processors: int,
                       machine: MachineConfig = XEON_MP_QUAD,
                       settings: RunnerSettings = DEFAULT_SETTINGS,
                       use_cache: bool = True,
-                      faults: Optional[FaultPlan] = None) -> ConfigResult:
+                      faults: Optional[FaultPlan] = None,
+                      cache: Optional[ResultCache] = None) -> ConfigResult:
     """Run one (W, C, P) configuration end-to-end.
 
     ``clients`` defaults to the Table 1 client count for (W, P).
@@ -89,6 +118,8 @@ def run_configuration(warehouses: int, processors: int,
     system DES; the microarchitecture model sees only the resulting
     behavior shift (IPX, reads, switches), which is exactly how a real
     degraded substrate would reach the hardware counters.
+    ``cache`` overrides the process-wide :func:`default_cache` (parallel
+    workers and tests use this for isolated cache directories).
 
     Raises :class:`~repro.experiments.resilience.ConvergenceError` when
     the CPI fixed point diverges and
@@ -97,10 +128,12 @@ def run_configuration(warehouses: int, processors: int,
     """
     if clients is None:
         clients = client_count(warehouses, processors)
+    if cache is None:
+        cache = default_cache()
     key = configuration_key(machine, warehouses, clients, processors,
                             settings, faults)
     if use_cache:
-        cached = _CACHE.load(key)
+        cached = cache.load(key)
         if cached is not None:
             return cached
 
@@ -168,7 +201,7 @@ def run_configuration(warehouses: int, processors: int,
         fixed_point_rounds=settings.fixed_point_rounds,
     )
     if use_cache:
-        _CACHE.store(key, result)
+        cache.store(key, result)
     return result
 
 
@@ -177,8 +210,8 @@ def sweep(warehouse_grid, processors: int,
           settings: RunnerSettings = DEFAULT_SETTINGS,
           clients_fn=None, use_cache: bool = True,
           faults: Optional[FaultPlan] = None,
-          journal: Optional[Union[SweepJournal, str]] = None
-          ) -> list[ConfigResult]:
+          journal: Optional[Union[SweepJournal, str]] = None,
+          cache: Optional[ResultCache] = None) -> list[ConfigResult]:
     """Run a warehouse sweep at a fixed processor count.
 
     With ``journal`` (a :class:`~repro.experiments.resilience.SweepJournal`
@@ -204,7 +237,8 @@ def sweep(warehouse_grid, processors: int,
             continue
         result = run_configuration(
             warehouses, processors, clients=clients, machine=machine,
-            settings=settings, use_cache=use_cache, faults=faults)
+            settings=settings, use_cache=use_cache, faults=faults,
+            cache=cache)
         if journal is not None:
             journal.record(key, result)
         results.append(result)
@@ -213,15 +247,20 @@ def sweep(warehouse_grid, processors: int,
 
 def utilization_for(warehouses: int, processors: int, clients: int,
                     machine: MachineConfig = XEON_MP_QUAD,
-                    settings: RunnerSettings = DEFAULT_SETTINGS) -> float:
+                    settings: RunnerSettings = DEFAULT_SETTINGS,
+                    faults: Optional[FaultPlan] = None,
+                    cache: Optional[ResultCache] = None) -> float:
     """CPU utilization at a specific client count (for the Table 1 search).
 
     Runs the full coupled iteration via :func:`run_configuration`: CPI
     feedback matters for utilization (a higher CPI stretches CPU bursts
     and hides more I/O), and the result cache makes the repeated probes
-    of the saturation search cheap.
+    of the saturation search cheap.  ``faults`` threads a
+    :class:`~repro.faults.FaultPlan` through to the run — a saturation
+    search on a degraded substrate caches under the fault-specific key,
+    exactly like :func:`run_configuration`.
     """
     result = run_configuration(warehouses, processors, clients=clients,
                                machine=machine, settings=settings,
-                               use_cache=True)
+                               use_cache=True, faults=faults, cache=cache)
     return result.system.cpu_utilization

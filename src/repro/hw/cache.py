@@ -26,6 +26,14 @@ class AccessResult:
     writeback: bool = False
 
 
+# Shared immutable results for the two allocation-free outcomes.  A
+# cache access happens millions of times per configuration run, and a
+# frozen-dataclass construction per access dominated the model's cost;
+# only a miss that actually evicts needs a fresh object.
+_HIT = AccessResult(hit=True)
+_MISS_NO_VICTIM = AccessResult(hit=False)
+
+
 class SetAssociativeCache:
     """One cache level.
 
@@ -68,19 +76,45 @@ class SetAssociativeCache:
         if dirty is not None:
             self.hits += 1
             cache_set[line] = dirty or write
-            return AccessResult(hit=True)
+            return _HIT
         self.misses += 1
-        evicted_line = None
-        writeback = False
         if len(cache_set) >= self._ways:
             evicted_line = next(iter(cache_set))
             writeback = cache_set.pop(evicted_line)
             self.evictions += 1
             if writeback:
                 self.writebacks += 1
+            cache_set[line] = write
+            return AccessResult(hit=False, evicted_line=evicted_line,
+                                writeback=writeback)
         cache_set[line] = write
-        return AccessResult(hit=False, evicted_line=evicted_line,
-                            writeback=writeback)
+        return _MISS_NO_VICTIM
+
+    def access_hit(self, address: int, write: bool = False) -> bool:
+        """Like :meth:`access` but returns only the hit/miss outcome.
+
+        State evolution and counters are identical to :meth:`access`;
+        the victim information is simply not materialized.  This is the
+        hot path for levels whose eviction victims the caller ignores
+        (TLB translations, trace-cache fills, the L2 in front of an
+        inclusive L3).
+        """
+        line = address >> self._line_shift
+        cache_set = self._sets[line % self._num_sets]
+        self.accesses += 1
+        dirty = cache_set.pop(line, None)
+        if dirty is not None:
+            self.hits += 1
+            cache_set[line] = dirty or write
+            return True
+        self.misses += 1
+        if len(cache_set) >= self._ways:
+            evicted_line = next(iter(cache_set))
+            if cache_set.pop(evicted_line):
+                self.writebacks += 1
+            self.evictions += 1
+        cache_set[line] = write
+        return False
 
     def contains(self, address: int) -> bool:
         """True when the line holding ``address`` is resident (no LRU touch)."""

@@ -84,26 +84,55 @@ class CpuHierarchy:
         self.counts = HierarchyCounts()
         if self.l2.config.line_bytes != self.l3.config.line_bytes:
             raise ValueError("L2 and L3 must share a line size")
+        # Bound-method aliases for the per-reference fast path.  The
+        # underlying cache objects are never replaced after construction
+        # (flush/invalidate mutate them in place), so the aliases stay
+        # valid for the hierarchy's lifetime.
+        self._dtlb_hit = self.dtlb._cache.access_hit
+        self._l2_hit = self.l2.access_hit
+        self._l3_access = self.l3.access
+        self._l2_invalidate = self.l2.invalidate_line
+        self._tc_hit = self.tc.access_hit
+
+    # The three per-reference entry points below increment SplitCount
+    # buckets inline instead of via SplitCount.add(): together they run
+    # several million times per configuration, and the method-call
+    # overhead was a measurable share of the trace simulation.
 
     def data_access(self, address: int, write: bool, kernel: bool) -> tuple[bool, bool]:
         """One data reference; returns ``(l2_missed, l3_missed)``."""
         counts = self.counts
-        counts.data_refs.add(kernel)
-        if not self.dtlb.access(address):
-            counts.tlb_misses.add(kernel)
-        l2_result = self.l2.access(address, write)
-        if l2_result.hit:
+        refs = counts.data_refs
+        if kernel:
+            refs.kernel += 1
+        else:
+            refs.user += 1
+        if not self._dtlb_hit(address):
+            misses = counts.tlb_misses
+            if kernel:
+                misses.kernel += 1
+            else:
+                misses.user += 1
+        if self._l2_hit(address, write):
             return False, False
-        counts.l2_misses.add(kernel)
-        l3_result = self.l3.access(address, write)
+        misses = counts.l2_misses
+        if kernel:
+            misses.kernel += 1
+        else:
+            misses.user += 1
+        l3_result = self._l3_access(address, write)
         if l3_result.hit:
             return True, False
-        counts.l3_misses.add(kernel)
+        misses = counts.l3_misses
+        if kernel:
+            misses.kernel += 1
+        else:
+            misses.user += 1
         if l3_result.writeback:
             counts.l3_writebacks.add(kernel)
         if l3_result.evicted_line is not None:
             # Inclusive hierarchy: an L3 eviction drops the L2 copy too.
-            self.l2.invalidate_line(l3_result.evicted_line)
+            self._l2_invalidate(l3_result.evicted_line)
         return True, True
 
     def fetch(self, address: int, kernel: bool) -> bool:
@@ -112,27 +141,37 @@ class CpuHierarchy:
         A TC miss is filled from L2/L3, so code misses contribute to the
         unified cache traffic as on the real machine.
         """
-        self.counts.code_refs.add(kernel)
-        if self.tc.access(address).hit:
+        counts = self.counts
+        refs = counts.code_refs
+        if kernel:
+            refs.kernel += 1
+        else:
+            refs.user += 1
+        if self._tc_hit(address):
             return False
-        self.counts.tc_misses.add(kernel)
-        if not self.l2.access(address).hit:
-            self.counts.l2_misses.add(kernel)
-            l3_result = self.l3.access(address)
+        counts.tc_misses.add(kernel)
+        if not self._l2_hit(address):
+            counts.l2_misses.add(kernel)
+            l3_result = self._l3_access(address)
             if not l3_result.hit:
-                self.counts.l3_misses.add(kernel)
+                counts.l3_misses.add(kernel)
                 if l3_result.writeback:
-                    self.counts.l3_writebacks.add(kernel)
+                    counts.l3_writebacks.add(kernel)
                 if l3_result.evicted_line is not None:
-                    self.l2.invalidate_line(l3_result.evicted_line)
+                    self._l2_invalidate(l3_result.evicted_line)
         return True
 
     def branch(self, pc: int, taken: bool, kernel: bool) -> bool:
         """One conditional branch; returns True when predicted correctly."""
-        self.counts.branches.add(kernel)
+        counts = self.counts
+        refs = counts.branches
+        if kernel:
+            refs.kernel += 1
+        else:
+            refs.user += 1
         correct = self.predictor.predict_and_update(pc, taken)
         if not correct:
-            self.counts.mispredicts.add(kernel)
+            counts.mispredicts.add(kernel)
         return correct
 
     def context_switch(self) -> None:

@@ -27,7 +27,7 @@ class Tlb:
 
     def access(self, address: int) -> bool:
         """Translate ``address``; returns True on TLB hit."""
-        return self._cache.access(address).hit
+        return self._cache.access_hit(address)
 
     def flush(self) -> int:
         """Full TLB flush (address-space switch); returns entries dropped."""

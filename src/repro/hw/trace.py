@@ -37,6 +37,7 @@ real-machine reference densities (``*_density`` parameters).
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
 
 from repro.hw.hierarchy import HierarchyCounts, SmpHierarchy
@@ -213,6 +214,13 @@ class TraceGenerator:
 
     # -- address pickers ----------------------------------------------------
 
+    # The segment loops below alias bound methods and parameters into
+    # locals and sample CDFs with bisect_left directly: they execute for
+    # every simulated reference (millions per configuration), and
+    # attribute lookups plus helper-call overhead dominated their cost.
+    # Every rng draw happens in exactly the order of the straightforward
+    # formulation, so the generated stream is bit-identical.
+
     def _pick(self, base: int, cdf, rng) -> int:
         return base + sample_cdf(rng, cdf) * _LINE
 
@@ -220,7 +228,7 @@ class TraceGenerator:
         p = self.params
         warehouse = rng.randrange(self.profile.warehouses)
         if rng.random() < p.hot_block_prob:
-            block = sample_cdf(rng, self._hot_block_cdf)
+            block = bisect_left(self._hot_block_cdf, rng.random())
             block_id = warehouse * p.hot_blocks_per_warehouse + block
             region = 0
         else:
@@ -235,47 +243,57 @@ class TraceGenerator:
     def _user_data_segment(self, cpu: int, client: int, count: int) -> None:
         p = self.params
         rng = self._rng
+        rand = rng.random
         recent = self._recent
+        data_access = self.smp.data_access
+        pick_block = self._pick_block_address
+        hot_cdf = self._hot_cdf
+        warm_cdf = self._warm_cdf
+        private_cdf = self._private_cdf
+        p_hot = p.p_hot
+        p_hot_warm = p.p_hot + p.p_warm
+        p_hot_warm_block = p_hot_warm + p.p_block
+        revisit_prob = p.revisit_prob
         private_base = _PRIVATE_BASE + client * (p.private_lines * 2) * _LINE
         for _ in range(count):
-            if recent and rng.random() < p.revisit_prob:
+            if recent and rand() < revisit_prob:
                 address = recent[rng.randrange(len(recent))]
-                self.smp.data_access(cpu, address, write=False, kernel=False)
+                data_access(cpu, address, False, False)
                 continue
-            u = rng.random()
-            if u < p.p_hot:
-                address = self._pick(_HOT_BASE, self._hot_cdf, rng)
-                write = rng.random() < p.hot_write_prob
-                self.smp.data_access(cpu, address, write, kernel=False,
-                                     shared=True)
-            elif u < p.p_hot + p.p_warm:
-                address = self._pick(_WARM_BASE, self._warm_cdf, rng)
-                write = rng.random() < p.warm_write_prob
-                self.smp.data_access(cpu, address, write, kernel=False,
-                                     shared=True)
-            elif u < p.p_hot + p.p_warm + p.p_block:
-                address = self._pick_block_address(rng)
-                write = rng.random() < p.block_write_prob
-                self.smp.data_access(cpu, address, write, kernel=False)
+            u = rand()
+            if u < p_hot:
+                address = _HOT_BASE + bisect_left(hot_cdf, rand()) * _LINE
+                data_access(cpu, address, rand() < p.hot_write_prob, False,
+                            shared=True)
+            elif u < p_hot_warm:
+                address = _WARM_BASE + bisect_left(warm_cdf, rand()) * _LINE
+                data_access(cpu, address, rand() < p.warm_write_prob, False,
+                            shared=True)
+            elif u < p_hot_warm_block:
+                address = pick_block(rng)
+                data_access(cpu, address, rand() < p.block_write_prob, False)
                 recent.append(address)
                 if len(recent) > 24:
                     recent.pop(0)
             else:
-                address = self._pick(private_base, self._private_cdf, rng)
-                write = rng.random() < p.private_write_prob
-                self.smp.data_access(cpu, address, write, kernel=False)
+                address = (private_base
+                           + bisect_left(private_cdf, rand()) * _LINE)
+                data_access(cpu, address, rand() < p.private_write_prob, False)
 
     def _user_code_segment(self, cpu: int, count: int) -> None:
-        rng = self._rng
-        for _ in range(count):
-            index = sample_cdf(rng, self._user_code_cdf)
-            self.smp.fetch(cpu, _USER_CODE_BASE + index * _CODE_LINE, kernel=False)
-
-    def _branches(self, cpu: int, count: int) -> None:
-        rng = self._rng
+        rand = self._rng.random
+        fetch = self.smp.fetch
         cdf = self._user_code_cdf
         for _ in range(count):
-            site = sample_cdf(rng, cdf)
+            index = bisect_left(cdf, rand())
+            fetch(cpu, _USER_CODE_BASE + index * _CODE_LINE, False)
+
+    def _branches(self, cpu: int, count: int) -> None:
+        rand = self._rng.random
+        branch = self.smp.branch
+        cdf = self._user_code_cdf
+        for _ in range(count):
+            site = bisect_left(cdf, rand())
             # Per-site taken bias, stable across the run: mostly strongly
             # biased branches with a hard-to-predict minority, as in real
             # integer code.
@@ -288,31 +306,36 @@ class TraceGenerator:
                 taken_prob = 0.88
             else:
                 taken_prob = 0.55
-            self.smp.branch(cpu, site, rng.random() < taken_prob, kernel=False)
+            branch(cpu, site, rand() < taken_prob, False)
 
     def _kernel_burst(self, cpu: int, refs: int, slab_refs: int = 0,
                       task_client: int | None = None) -> None:
         p = self.params
         rng = self._rng
+        rand = rng.random
+        data_access = self.smp.data_access
+        kernel_cdf = self._kernel_cdf
         for _ in range(refs):
-            address = _KERNEL_DATA_BASE + sample_cdf(rng, self._kernel_cdf) * _LINE
-            self.smp.data_access(cpu, address, rng.random() < 0.3, kernel=True)
+            address = (_KERNEL_DATA_BASE
+                       + bisect_left(kernel_cdf, rand()) * _LINE)
+            data_access(cpu, address, rand() < 0.3, True)
         for _ in range(slab_refs):
             # Recycled per-request slab objects: hit when recently reused.
             self._slab_seq += 1
             line = self._slab_seq % p.os_slab_pool_lines
             address = _KERNEL_COLD_BASE + line * _LINE
-            self.smp.data_access(cpu, address, write=True, kernel=True)
+            data_access(cpu, address, True, True)
         if task_client is not None:
             base = (_KERNEL_TASK_BASE
                     + task_client * p.os_task_lines_per_client * _LINE)
             for _ in range(p.os_task_refs_per_cs):
                 offset = rng.randrange(p.os_task_lines_per_client)
-                self.smp.data_access(cpu, base + offset * _LINE,
-                                     write=rng.random() < 0.4, kernel=True)
+                data_access(cpu, base + offset * _LINE, rand() < 0.4, True)
+        fetch = self.smp.fetch
+        kernel_code_cdf = self._kernel_code_cdf
         for _ in range(p.os_code_refs_per_burst):
-            index = sample_cdf(rng, self._kernel_code_cdf)
-            self.smp.fetch(cpu, _KERNEL_CODE_BASE + index * _CODE_LINE, kernel=True)
+            index = bisect_left(kernel_code_cdf, rand())
+            fetch(cpu, _KERNEL_CODE_BASE + index * _CODE_LINE, True)
 
     # -- driving ------------------------------------------------------------
 

@@ -12,6 +12,7 @@ split, disk I/O and context switches per transaction, utilization).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop
 from typing import Optional
 
 from repro.db.blocks import BlockSpace
@@ -249,10 +250,19 @@ class OdbSystem:
         return snap
 
     def _run_until_transactions(self, target: int, time_limit_s: float) -> None:
-        deadline = self.engine.now + time_limit_s
-        while (self.db.transactions.count < target
-               and self.engine.peek() <= deadline):
-            self.engine.step()
+        # The commit count must be re-checked before every event (an
+        # overshoot would shift the measurement snapshot), so the loop
+        # cannot batch; aliasing the counter, heap, and step keeps the
+        # per-event overhead down.
+        engine = self.engine
+        heap = engine._heap
+        counter = self.db.transactions
+        deadline = engine.now + time_limit_s
+        pop = heappop
+        while counter.count < target and heap and heap[0][0] <= deadline:
+            when, _priority, _seq, event = pop(heap)
+            engine._now = when
+            event._process()
 
     def run(self, warmup_txns: int = 500, measure_txns: int = 2000,
             prewarm_plans: int = 4000,

@@ -1,0 +1,54 @@
+"""Golden-value pins for the coupled runner.
+
+Every hot-path optimization (bisect CDF sampling, memoized zipf tables,
+cache-access fast paths, the inlined DES event loop) is required to be
+*bit-identical*: same RNG draw order, same counters, same floats.  These
+tests pin two full uncached configurations against serialized results
+committed before the optimization pass; any future "optimization" that
+shifts a single draw or reorders an accumulation fails here, not in a
+subtly wrong figure.
+
+Regenerate (only for an intentional model change)::
+
+    PYTHONPATH=src python -c "
+    import json
+    from repro.experiments.runner import run_configuration
+    from repro.experiments.configs import FAST_SETTINGS
+    for w, p in ((50, 2), (100, 4)):
+        r = run_configuration(w, p, settings=FAST_SETTINGS, use_cache=False)
+        path = f'tests/experiments/golden/config_w{w}_p{p}_fast.json'
+        json.dump(r.to_dict(), open(path, 'w'), indent=1, sort_keys=True)
+    "
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.configs import FAST_SETTINGS
+from repro.experiments.runner import run_configuration
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+CASES = [
+    (50, 2, "config_w50_p2_fast.json"),
+    (100, 4, "config_w100_p4_fast.json"),
+]
+
+
+@pytest.mark.parametrize("warehouses,processors,filename", CASES)
+def test_uncached_run_matches_golden(warehouses, processors, filename):
+    golden = json.loads((GOLDEN_DIR / filename).read_text())
+    result = run_configuration(warehouses, processors,
+                               settings=FAST_SETTINGS, use_cache=False)
+    produced = result.to_dict()
+    assert produced == golden, (
+        "bit-identical contract broken: the simulation no longer "
+        "reproduces the committed golden result (did an optimization "
+        "reorder RNG draws or change accumulation order?)")
+
+
+def test_goldens_have_distinct_payloads():
+    payloads = [(GOLDEN_DIR / name).read_text() for _, _, name in CASES]
+    assert len(set(payloads)) == len(payloads)

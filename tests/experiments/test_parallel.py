@@ -1,0 +1,157 @@
+"""Tests for the process-parallel executor: determinism, journal
+serialization, and graceful degradation to the serial path."""
+
+import json
+
+import pytest
+
+from repro.experiments import parallel as parallel_module
+from repro.experiments.configs import FAST_SETTINGS
+from repro.experiments.parallel import (
+    RunSpec,
+    effective_jobs,
+    map_parallel,
+    run_many,
+    sweep_parallel,
+)
+from repro.experiments.resilience import SweepJournal
+from repro.experiments.runner import sweep
+
+GRID = (10, 25)
+PROCESSORS = 1
+
+
+def canonical(results):
+    """Byte-exact serialization, the determinism contract's currency."""
+    return [json.dumps(r.to_dict(), sort_keys=True) for r in results]
+
+
+@pytest.fixture()
+def serial_reference():
+    return canonical(sweep(GRID, PROCESSORS, settings=FAST_SETTINGS,
+                           use_cache=False))
+
+
+class TestEffectiveJobs:
+    def test_explicit_jobs_pass_through(self):
+        assert effective_jobs(3) == 3
+
+    def test_floor_is_one(self):
+        assert effective_jobs(0) == 1
+        assert effective_jobs(-4) == 1
+
+    def test_default_is_cpu_count(self):
+        import os
+
+        assert effective_jobs(None) == (os.cpu_count() or 1)
+
+    def test_serial_env_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERIAL", "1")
+        assert effective_jobs(8) == 1
+        assert effective_jobs(None) == 1
+
+
+class TestDeterminism:
+    def test_parallel_sweep_bit_identical_to_serial(self, tmp_path,
+                                                    serial_reference):
+        results = sweep_parallel(GRID, PROCESSORS, settings=FAST_SETTINGS,
+                                 jobs=2, cache_dir=tmp_path / "cache")
+        assert canonical(results) == serial_reference
+
+    def test_run_many_preserves_spec_order(self, tmp_path, serial_reference):
+        # Submit the grid reversed: results must follow the spec list,
+        # never worker completion order.
+        specs = [RunSpec(warehouses=w, processors=PROCESSORS,
+                         settings=FAST_SETTINGS) for w in reversed(GRID)]
+        results = run_many(specs, jobs=2, cache_dir=tmp_path / "cache")
+        assert canonical(results) == list(reversed(serial_reference))
+
+    def test_serial_env_delegates_and_matches(self, monkeypatch, tmp_path,
+                                              serial_reference):
+        monkeypatch.setenv("REPRO_SERIAL", "1")
+        results = sweep_parallel(GRID, PROCESSORS, settings=FAST_SETTINGS,
+                                 cache_dir=tmp_path / "cache")
+        assert canonical(results) == serial_reference
+
+
+class TestJournal:
+    def test_parent_journals_every_point(self, tmp_path):
+        journal_path = tmp_path / "sweep.jsonl"
+        sweep_parallel(GRID, PROCESSORS, settings=FAST_SETTINGS, jobs=2,
+                       cache_dir=tmp_path / "cache", journal=journal_path)
+        journal = SweepJournal(journal_path)
+        completed = journal.load()
+        assert len(completed) == len(GRID)
+        assert journal.skipped == 0
+
+    def test_resume_skips_journaled_points(self, tmp_path):
+        journal_path = tmp_path / "sweep.jsonl"
+        first = sweep_parallel(GRID, PROCESSORS, settings=FAST_SETTINGS,
+                               jobs=2, cache_dir=tmp_path / "cache",
+                               journal=journal_path)
+        lines_after_first = journal_path.read_text().count("\n")
+        second = sweep_parallel(GRID, PROCESSORS, settings=FAST_SETTINGS,
+                                jobs=2, cache_dir=tmp_path / "cache",
+                                journal=journal_path)
+        # Nothing re-journaled, and the resumed results are identical.
+        assert journal_path.read_text().count("\n") == lines_after_first
+        assert canonical(second) == canonical(first)
+
+
+class TestFallback:
+    def test_broken_pool_degrades_to_serial(self, monkeypatch, tmp_path,
+                                            serial_reference):
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                raise OSError("forking forbidden")
+
+            def __exit__(self, *exc):
+                return False
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor",
+                            ExplodingPool)
+        specs = [RunSpec(warehouses=w, processors=PROCESSORS,
+                         settings=FAST_SETTINGS) for w in GRID]
+        results = run_many(specs, jobs=2, cache_dir=tmp_path / "cache")
+        assert canonical(results) == serial_reference
+
+    def test_map_parallel_fallback_preserves_order(self, monkeypatch):
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                raise OSError("forking forbidden")
+
+            def __exit__(self, *exc):
+                return False
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor",
+                            ExplodingPool)
+        assert map_parallel(abs, [-3, 2, -1], jobs=4) == [3, 2, 1]
+
+
+class TestMapParallel:
+    def test_preserves_item_order(self):
+        assert map_parallel(abs, [-5, 4, -3], jobs=2) == [5, 4, 3]
+
+    def test_empty_items(self):
+        assert map_parallel(abs, [], jobs=2) == []
+
+
+class TestRunSpec:
+    def test_key_matches_runner_key(self):
+        from repro.experiments.runner import configuration_key
+        from repro.hw.machine import XEON_MP_QUAD
+
+        spec = RunSpec(warehouses=10, processors=1, settings=FAST_SETTINGS)
+        assert spec.key() == configuration_key(
+            XEON_MP_QUAD, 10, spec.resolved_clients, 1, FAST_SETTINGS)
+
+    def test_explicit_clients_resolve_verbatim(self):
+        spec = RunSpec(warehouses=10, processors=1, clients=7,
+                       settings=FAST_SETTINGS)
+        assert spec.resolved_clients == 7

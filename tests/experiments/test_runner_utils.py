@@ -75,3 +75,74 @@ class TestCachingBehavior:
         run_configuration(10, 1, clients=2, settings=FAST_SETTINGS,
                           use_cache=False)
         assert not list(tmp_path.glob("*.json"))
+
+    def test_explicit_cache_overrides_default(self, tmp_path, monkeypatch):
+        import repro.experiments.runner as runner_module
+        from repro.experiments.records import ResultCache
+
+        default_dir = tmp_path / "default"
+        injected_dir = tmp_path / "injected"
+        monkeypatch.setattr(runner_module, "_CACHE",
+                            ResultCache(directory=default_dir))
+        run_configuration(10, 1, clients=2, settings=FAST_SETTINGS,
+                          cache=ResultCache(directory=injected_dir))
+        assert list(injected_dir.glob("*.json"))
+        assert not default_dir.exists()
+
+    def test_default_cache_honors_env_dir(self, tmp_path, monkeypatch):
+        from repro.experiments.records import ResultCache
+        from repro.experiments.runner import default_cache, set_default_cache
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        set_default_cache(None)  # force lazy re-derivation under the env
+        try:
+            cache = default_cache()
+            assert cache.directory == tmp_path / "env-cache"
+            assert default_cache() is cache  # created once, then reused
+        finally:
+            set_default_cache(None)
+
+    def test_set_default_cache_installs_instance(self, tmp_path):
+        from repro.experiments.records import ResultCache
+        from repro.experiments.runner import default_cache, set_default_cache
+
+        mine = ResultCache(directory=tmp_path)
+        set_default_cache(mine)
+        try:
+            assert default_cache() is mine
+        finally:
+            set_default_cache(None)
+
+
+class TestUtilizationFaults:
+    def test_faults_thread_through_to_cache_key(self, tmp_path):
+        from repro.experiments.records import ResultCache
+        from repro.faults import DiskDegradation, FaultPlan
+
+        plan = FaultPlan(seed=1, disks=(
+            DiskDegradation(disk=-1, latency_factor=4.0),))
+        cache = ResultCache(directory=tmp_path)
+        healthy = utilization_for(10, 1, clients=2, settings=FAST_SETTINGS,
+                                  cache=cache)
+        degraded = utilization_for(10, 1, clients=2, settings=FAST_SETTINGS,
+                                   faults=plan, cache=cache)
+        assert 0.0 <= healthy <= 1.0 and 0.0 <= degraded <= 1.0
+        # Healthy and faulted runs cache under distinct keys: the faulted
+        # entry carries the plan fingerprint suffix.
+        entries = sorted(p.name for p in tmp_path.glob("*.json"))
+        assert len(entries) == 2
+        assert sum(f"-f{plan.fingerprint()}" in name for name in entries) == 1
+
+    def test_faulted_utilization_reproducible(self, tmp_path):
+        from repro.experiments.records import ResultCache
+        from repro.faults import DiskDegradation, FaultPlan
+
+        plan = FaultPlan(seed=1, disks=(
+            DiskDegradation(disk=-1, latency_factor=4.0),))
+        first = utilization_for(10, 1, clients=2, settings=FAST_SETTINGS,
+                                faults=plan,
+                                cache=ResultCache(directory=tmp_path / "a"))
+        second = utilization_for(10, 1, clients=2, settings=FAST_SETTINGS,
+                                 faults=plan,
+                                 cache=ResultCache(directory=tmp_path / "b"))
+        assert first == second

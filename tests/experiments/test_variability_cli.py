@@ -99,7 +99,7 @@ class TestCli:
         from repro.experiments.records import ResultCache
 
         # Point the command at a scratch cache (never the shared one).
-        monkeypatch.setattr(cli, "ResultCache",
+        monkeypatch.setattr(cli, "default_cache",
                             lambda: ResultCache(directory=tmp_path))
         (tmp_path / "entry.json").write_text("{}")
         assert cli.main(["clear-cache"]) == 0

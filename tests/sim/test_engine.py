@@ -49,6 +49,38 @@ def test_run_until_stops_early_and_pins_clock():
     assert engine.now == 5.0
 
 
+def test_run_until_is_inclusive():
+    # An event scheduled exactly at ``until`` fires in that run() call.
+    engine = Engine()
+    fired = []
+    engine.timeout(5.0).add_callback(lambda e: fired.append(engine.now))
+    engine.run(until=5.0)
+    assert fired == [5.0]
+    assert engine.now == 5.0
+
+
+def test_run_until_resumes_across_calls():
+    engine = Engine()
+    fired = []
+    for delay in (1.0, 4.0, 9.0):
+        engine.timeout(delay).add_callback(lambda e: fired.append(engine.now))
+    engine.run(until=2.0)
+    assert fired == [1.0] and engine.now == 2.0
+    engine.run(until=6.0)
+    assert fired == [1.0, 4.0] and engine.now == 6.0
+    engine.run()  # drain the rest
+    assert fired == [1.0, 4.0, 9.0] and engine.now == 9.0
+
+
+def test_run_until_now_is_a_noop():
+    engine = Engine()
+    engine.timeout(3.0)
+    engine.run(until=2.0)
+    engine.run(until=2.0)  # not "in the past": nothing fires, clock holds
+    assert engine.now == 2.0
+    assert engine.peek() == 3.0
+
+
 def test_run_until_past_raises():
     engine = Engine()
     engine.timeout(2.0)
@@ -137,6 +169,34 @@ def test_all_of_empty_completes_immediately():
     combined = AllOf(engine, [])
     assert combined.triggered
     assert combined.value == {}
+
+
+def test_any_of_excludes_pending_pretriggered_timeouts():
+    # Timeouts count as "triggered" from creation; the AnyOf result must
+    # include only children whose callbacks actually ran, not every
+    # child that merely sits on the schedule.
+    engine = Engine()
+    slow = engine.timeout(10.0, value="slow")
+    fast = engine.timeout(1.0, value="fast")
+    combined = AnyOf(engine, [slow, fast])
+    engine.run(until=1.0)
+    assert combined.processed
+    assert slow.triggered and not slow.processed
+    assert combined.value == {1: "fast"}
+
+
+def test_all_of_accepts_already_processed_children():
+    # A condition built over an event processed *before* construction
+    # must count it (via the late-callback path) instead of hanging.
+    engine = Engine()
+    early = engine.timeout(1.0, value="early")
+    engine.run()
+    assert early.processed
+    late = engine.timeout(2.0, value="late")
+    combined = AllOf(engine, [early, late])
+    engine.run()
+    assert combined.processed
+    assert combined.value == {0: "early", 1: "late"}
 
 
 def test_condition_propagates_failure():
