@@ -9,15 +9,26 @@
     python -m repro pivot -p 4 --metric cpi  # two-region fit and pivot
     python -m repro table1                   # the 90%-utilization search
     python -m repro variability -w 100 -p 4  # multi-seed error bars
+    python -m repro report -w 100 -p 4       # traced run -> dashboard
+    python -m repro docs regen [--check]     # regenerate doc blocks
     python -m repro clear-cache              # drop cached sweep results
 
 ``--fast`` trades fidelity for speed on any simulating command (the
 same settings the test suite uses).  ``--faults plan.json`` injects a
 :class:`repro.faults.FaultPlan` (degraded disks, log stalls, lock
-storms, transient aborts) into ``run`` and ``sweep``.  ``--jobs N``
-fans independent configuration runs across ``N`` worker processes
-(default: one per CPU; results are bit-identical to serial, see
-DESIGN.md §8); ``REPRO_SERIAL=1`` forces serial execution.
+storms, transient aborts) into ``run``, ``sweep``, and ``report``.
+``--jobs N`` fans independent configuration runs across ``N`` worker
+processes (default: one per CPU; results are bit-identical to serial,
+see DESIGN.md §8); ``REPRO_SERIAL=1`` forces serial execution.
+
+``report`` runs one configuration with tracing enabled
+(:mod:`repro.obs`) and writes a Markdown (optionally HTML) dashboard —
+run manifest, phase timings, counter provenance, and the fault/retry
+timeline when ``--faults`` is active — into ``results/reports/``.
+``docs regen`` regenerates the generated blocks of EXPERIMENTS.md and
+results/README.md from the committed ``results/*.txt`` artifacts;
+``--check`` fails (exit 1) on drift, which CI runs as the doc-drift
+gate.
 """
 
 from __future__ import annotations
@@ -84,6 +95,7 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_run(args) -> int:
+    """``repro run``: one configuration, rendered as a small report."""
     faults = _faults(args)
     result = run_configuration(args.warehouses, args.processors,
                                clients=args.clients, machine=_machine(args),
@@ -146,6 +158,7 @@ def _journal_path(args, faults: Optional[FaultPlan]) -> Path:
 
 
 def cmd_sweep(args) -> int:
+    """``repro sweep``: a warehouse sweep at fixed processor count."""
     grid = _parse_grid(args.grid)
     faults = _faults(args)
     journal = None
@@ -181,6 +194,7 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_pivot(args) -> int:
+    """``repro pivot``: pivot-point analysis over a warehouse sweep."""
     grid = _parse_grid(args.grid)
     records = sweep_parallel(grid, args.processors, machine=_machine(args),
                              settings=_settings(args), jobs=args.jobs)
@@ -207,6 +221,7 @@ def cmd_pivot(args) -> int:
 
 
 def cmd_table1(args) -> int:
+    """``repro table1``: the saturation-client search (paper Table 1)."""
     from repro.experiments import exp_table1
 
     result = exp_table1.run(machine=_machine(args), settings=_settings(args),
@@ -216,6 +231,7 @@ def cmd_table1(args) -> int:
 
 
 def cmd_variability(args) -> int:
+    """``repro variability``: seed-sensitivity study of one point."""
     from repro.experiments.variability import measure_variability
 
     report = measure_variability(args.warehouses, args.processors,
@@ -239,12 +255,73 @@ def cmd_variability(args) -> int:
 
 
 def cmd_clear_cache(_args) -> int:
+    """``repro clear-cache``: drop cached results (and manifests)."""
     removed = default_cache().clear()
     print(f"removed {removed} cached result(s)")
     return 0
 
 
+def _reports_dir() -> Path:
+    return Path(__file__).resolve().parents[2] / "results" / "reports"
+
+
+def cmd_report(args) -> int:
+    """``repro report``: run one point traced and render a dashboard."""
+    import repro.obs as obs
+    from repro.experiments.report import build_run_report, write_run_report
+    from repro.experiments.runner import last_manifest
+
+    faults = _faults(args)
+    machine = _machine(args)
+    tracer = obs.enable_tracing()
+    try:
+        # A fresh (uncached) run: the dashboard reports *this* run's
+        # phase timings, not the wall time of a cache load.
+        result = run_configuration(
+            args.warehouses, args.processors, clients=args.clients,
+            machine=machine, settings=_settings(args), use_cache=False,
+            faults=faults)
+    finally:
+        obs.disable_tracing()
+    report = build_run_report(
+        result,
+        manifest=last_manifest(),
+        tracer=tracer,
+        provenance=obs.emon_provenance(result, machine),
+        faults=faults,
+    )
+    out = Path(args.out) if args.out else _reports_dir()
+    slug = "".join(c if c.isalnum() or c in "-." else "_"
+                   for c in machine.name)
+    stem = (f"report_{slug}_w{result.warehouses}"
+            f"_c{result.clients}_p{result.processors}")
+    for path in write_run_report(report, out, stem, html=args.html):
+        print(path)
+    return 0
+
+
+def cmd_docs(args) -> int:
+    """``repro docs regen``: refresh (or check) generated doc blocks."""
+    from repro.experiments.docs import DocDriftError, regen_all
+
+    try:
+        drift = regen_all(check=args.check)
+    except DocDriftError as error:
+        raise SystemExit(str(error))
+    if not drift:
+        print("docs are in sync with the results/ artifacts")
+        return 0
+    for name, blocks in sorted(drift.items()):
+        verb = "drifted" if args.check else "regenerated"
+        print(f"{name}: {verb} block(s): {', '.join(blocks)}")
+    if args.check:
+        print("doc drift detected; run `python -m repro docs regen`")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Scaling and Characterizing Database "
@@ -300,6 +377,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(var_parser)
     var_parser.set_defaults(func=cmd_variability)
 
+    report_parser = commands.add_parser(
+        "report", help="traced run -> manifest/phase/provenance dashboard")
+    report_parser.add_argument("-w", "--warehouses", type=int, required=True)
+    report_parser.add_argument("-p", "--processors", type=int, default=4)
+    report_parser.add_argument("-c", "--clients", type=int, default=None,
+                               help="default: the Table 1 value for (W, P)")
+    report_parser.add_argument("--html", action="store_true",
+                               help="also write an HTML dashboard")
+    report_parser.add_argument("--out", default=None, metavar="DIR",
+                               help="output directory "
+                                    "(default: results/reports/)")
+    _add_common(report_parser)
+    _add_faults(report_parser)
+    report_parser.set_defaults(func=cmd_report)
+
+    docs_parser = commands.add_parser(
+        "docs", help="regenerate doc blocks from results/ artifacts")
+    docs_parser.add_argument("action", choices=("regen",),
+                             help="regen: rewrite the generated blocks")
+    docs_parser.add_argument("--check", action="store_true",
+                             help="fail (exit 1) on drift instead of "
+                                  "rewriting (the CI doc-drift gate)")
+    docs_parser.set_defaults(func=cmd_docs)
+
     cache_parser = commands.add_parser("clear-cache",
                                        help="drop cached sweep results")
     cache_parser.set_defaults(func=cmd_clear_cache)
@@ -307,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point: parse arguments and dispatch to a subcommand."""
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -45,6 +45,7 @@ class CpiBreakdown:
 
     @property
     def total(self) -> float:
+        """Sum of all decomposition components (the modeled CPI)."""
         return (self.inst + self.branch + self.tlb + self.tc + self.l2
                 + self.l3 + self.other)
 
@@ -59,6 +60,7 @@ class CpiBreakdown:
         return value / self.total if self.total else 0.0
 
     def as_dict(self) -> dict[str, float]:
+        """Component name -> cycles, in Table 4 row order."""
         return {
             "Inst": self.inst,
             "Branch": self.branch,

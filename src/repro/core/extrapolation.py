@@ -29,15 +29,18 @@ class ExtrapolationReport:
 
     @property
     def relative_errors(self) -> tuple[float, ...]:
+        """Per-point |predicted - actual| / actual."""
         return tuple(abs(p - a) / abs(a) if a else float("inf")
                      for p, a in zip(self.predictions, self.actuals))
 
     @property
     def max_relative_error(self) -> float:
+        """Worst-case relative error over the validation points."""
         return max(self.relative_errors, default=0.0)
 
     @property
     def mean_relative_error(self) -> float:
+        """Mean relative error over the validation points."""
         errors = self.relative_errors
         return sum(errors) / len(errors) if errors else 0.0
 

@@ -49,14 +49,17 @@ class DatabaseIronLaw:
 
     @property
     def tps(self) -> float:
+        """Iron-law throughput: (P x F) / (IPX x CPI)."""
         return tps(self.processors, self.frequency_hz, self.ipx, self.cpi)
 
     @property
     def tps_per_cpu(self) -> float:
+        """Per-processor share of the iron-law throughput."""
         return self.tps / self.processors
 
     @property
     def cycles_per_transaction(self) -> float:
+        """IPX x CPI: total cycles each transaction costs one CPU."""
         return self.ipx * self.cpi
 
     @property

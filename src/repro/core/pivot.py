@@ -35,13 +35,16 @@ class PivotAnalysis:
 
     @property
     def has_pivot(self) -> bool:
+        """Whether the two-regime fit found a pivot warehouse count."""
         return self.fit.pivot_x is not None
 
     def cached_region(self) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """(warehouses, values) left of the pivot (cache-resident)."""
         split = self.fit.split_index
         return self.warehouses[:split], self.values[:split]
 
     def scaled_region(self) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """(warehouses, values) right of the pivot (scaling regime)."""
         split = self.fit.split_index
         return self.warehouses[split:], self.values[split:]
 

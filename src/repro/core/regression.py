@@ -23,9 +23,11 @@ class LinearFit:
     n: int
 
     def predict(self, x: float) -> float:
+        """Model value at ``x``."""
         return self.slope * x + self.intercept
 
     def residual_sse(self, xs: Sequence[float], ys: Sequence[float]) -> float:
+        """Sum of squared residuals of the fit over its inputs."""
         return sum((y - self.predict(x)) ** 2 for x, y in zip(xs, ys))
 
 

@@ -67,13 +67,16 @@ class BlockSpace:
 
     @property
     def total_units(self) -> int:
+        """Total buffer-unit count across all segments."""
         return self.global_units + self.warehouses * self.units_per_warehouse
 
     @property
     def total_bytes(self) -> int:
+        """Total bytes across all segments."""
         return self.total_units * self.unit_bytes
 
     def segment(self, name: str) -> Segment:
+        """Look up one named segment; raises ``KeyError`` with the known names."""
         try:
             return self._segments[name]
         except KeyError:

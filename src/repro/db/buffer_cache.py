@@ -39,14 +39,17 @@ class BufferCache:
 
     @property
     def resident_units(self) -> int:
+        """Units currently cached."""
         return len(self._lru)
 
     @property
     def dirty_units(self) -> int:
+        """Cached units with unwritten modifications."""
         return sum(1 for dirty in self._lru.values() if dirty)
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from cache so far."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -111,6 +114,7 @@ class BufferCache:
         return result
 
     def reset_stats(self) -> None:
+        """Zero the hit/miss counters (cache contents are kept)."""
         self.hits = 0
         self.misses = 0
         self.dirty_evictions = 0

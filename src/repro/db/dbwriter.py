@@ -31,6 +31,7 @@ class DbWriter:
 
     @property
     def backlog(self) -> int:
+        """Dirty units queued and not yet written back."""
         return self._queue.size
 
     def enqueue(self, block_id: int) -> None:

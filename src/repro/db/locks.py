@@ -178,8 +178,10 @@ class LockTable:
 
     @property
     def held_count(self) -> int:
+        """Locks currently granted."""
         return sum(len(keys) for keys in self._held.values())
 
     @property
     def waiting_count(self) -> int:
+        """Processes currently blocked on a lock."""
         return sum(lock.queue_length for lock in self._locks.values())

@@ -40,6 +40,7 @@ class RedoLog:
 
     @property
     def flushed_sequence(self) -> float:
+        """Highest redo sequence number durably flushed."""
         return self._flushed.level
 
     @property

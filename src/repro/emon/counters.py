@@ -29,6 +29,7 @@ class PerformanceCounter:
     value: float = 0.0
 
     def program(self, event: EmonEvent) -> None:
+        """Bind this counter to an event of its pair; resets the value."""
         if event.counter_group != self.pair:
             raise ValueError(
                 f"event {event.alias!r} requires pair {event.counter_group}, "
@@ -37,6 +38,7 @@ class PerformanceCounter:
         self.value = 0.0
 
     def clear(self) -> None:
+        """Unbind the event and zero the value."""
         self.event = None
         self.value = 0.0
 
@@ -84,5 +86,6 @@ class CounterFile:
                 if c.event is not None}
 
     def clear_all(self) -> None:
+        """Clear every counter in the file."""
         for counter in self.counters:
             counter.clear()

@@ -63,3 +63,14 @@ def event_by_alias(alias: str) -> EmonEvent:
     except KeyError:
         known = ", ".join(sorted(_BY_ALIAS))
         raise KeyError(f"unknown event {alias!r}; known: {known}")
+
+
+def emon_sources(alias: str) -> tuple[str, ...]:
+    """The raw EMON event names behind a Table 2 alias.
+
+    This is the leaf of the provenance chain
+    (:mod:`repro.obs.provenance`): every reported metric resolves
+    through its aliases to these names, exactly as the paper's Table 2
+    maps its analysis quantities to EMON events.
+    """
+    return event_by_alias(alias).emon_names

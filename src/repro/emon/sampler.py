@@ -33,10 +33,12 @@ class SampledRates:
     samples: dict[str, tuple[float, ...]]
 
     def mean(self, alias: str) -> float:
+        """Mean of the recorded interval values."""
         values = self.samples[alias]
         return sum(values) / len(values) if values else 0.0
 
     def stdev(self, alias: str) -> float:
+        """Sample standard deviation of the interval values."""
         values = self.samples[alias]
         n = len(values)
         if n < 2:
@@ -45,6 +47,7 @@ class SampledRates:
         return (sum((v - mu) ** 2 for v in values) / (n - 1)) ** 0.5
 
     def coefficient_of_variation(self, alias: str) -> float:
+        """stdev / mean, the paper's run-variability statistic."""
         mu = self.mean(alias)
         return self.stdev(alias) / mu if mu else 0.0
 

@@ -1,0 +1,175 @@
+"""Self-regenerating documentation blocks (``repro docs regen``).
+
+EXPERIMENTS.md cites measured numbers; nothing stops hand-maintained
+prose from silently drifting away from what the code actually produces.
+This module closes the loop: regions of the Markdown docs are fenced by
+marker comments and *generated* from the committed ``results/*.txt``
+artifacts, so ``python -m repro docs regen`` rewrites them and
+``--check`` (run in CI) fails when a doc and its artifacts disagree.
+
+Marker grammar, one named block per region::
+
+    <!-- repro:begin NAME -->
+    ...generated content, never hand-edited...
+    <!-- repro:end NAME -->
+
+Generated blocks are pure functions of the artifact files — no
+timestamps, no environment — so regeneration is deterministic and the
+drift check is exact.  Artifacts live in ``results/`` and are committed;
+the untracked ``results/cache/`` and ``results/sweeps/`` directories
+never feed doc generation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from pathlib import Path
+
+#: Files with generated blocks, relative to the repository root, mapped
+#: to the builder producing their blocks from the results directory.
+BEGIN = "<!-- repro:begin {name} -->"
+END = "<!-- repro:end {name} -->"
+
+_BLOCK_RE = re.compile(
+    r"<!-- repro:begin (?P<name>[a-z0-9-]+) -->\n"
+    r"(?P<body>.*?)"
+    r"<!-- repro:end (?P=name) -->",
+    re.DOTALL)
+
+
+class DocDriftError(RuntimeError):
+    """Raised in check mode when a generated block disagrees with docs."""
+
+
+def repo_root() -> Path:
+    """The repository root (three levels above this module's package)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def artifact_checksum(text: str) -> str:
+    """Short stable content hash of one artifact's text."""
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=6).hexdigest()
+
+
+def list_artifacts(results_dir: Path) -> list[Path]:
+    """The committed rendered artifacts, in stable (sorted) order."""
+    return sorted(results_dir.glob("*.txt"))
+
+
+def artifact_index_block(results_dir: Path) -> str:
+    """A Markdown table indexing every rendered artifact.
+
+    Columns: file, title (the artifact's first line), line count, and a
+    content checksum — the checksum is what makes EXPERIMENTS.md unable
+    to drift silently: editing an artifact without regenerating the
+    docs flips the committed checksum.
+    """
+    lines = [
+        "| artifact | title | lines | checksum |",
+        "|---|---|---|---|",
+    ]
+    for path in list_artifacts(results_dir):
+        text = path.read_text(encoding="utf-8")
+        title = text.splitlines()[0] if text.strip() else "(empty)"
+        lines.append(
+            f"| `results/{path.name}` | {title} "
+            f"| {len(text.splitlines())} | `{artifact_checksum(text)}` |")
+    return "\n".join(lines) + "\n"
+
+
+def embed_artifact_block(results_dir: Path, filename: str) -> str:
+    """One artifact embedded verbatim as a fenced code block."""
+    path = results_dir / filename
+    text = path.read_text(encoding="utf-8").rstrip("\n")
+    return (f"Source: `results/{filename}` "
+            f"(checksum `{artifact_checksum(path.read_text(encoding='utf-8'))}`)\n\n"
+            f"```text\n{text}\n```\n")
+
+
+def experiments_blocks(results_dir: Path) -> dict[str, str]:
+    """Generated blocks for EXPERIMENTS.md."""
+    blocks = {"artifact-index": artifact_index_block(results_dir)}
+    for name, filename in (("table5-pivots", "table5_pivots.txt"),
+                           ("extrapolation", "extrapolation_6_2.txt"),
+                           ("tables234", "tables234_definitions.txt")):
+        if (results_dir / filename).exists():
+            blocks[name] = embed_artifact_block(results_dir, filename)
+    return blocks
+
+
+def results_index_blocks(results_dir: Path) -> dict[str, str]:
+    """Generated blocks for results/README.md."""
+    return {"results-index": artifact_index_block(results_dir)}
+
+
+def apply_blocks(text: str, blocks: dict[str, str]
+                 ) -> tuple[str, list[str], list[str]]:
+    """Replace every marked region of ``text`` whose name is in ``blocks``.
+
+    Returns ``(new_text, replaced, unknown)``: names rewritten, and
+    marker names found in the text with no generator — the latter is a
+    doc bug (a stale or misspelled marker) surfaced to the caller.
+    """
+    replaced: list[str] = []
+    unknown: list[str] = []
+
+    def substitute(match: re.Match) -> str:
+        name = match.group("name")
+        if name not in blocks:
+            unknown.append(name)
+            return match.group(0)
+        replaced.append(name)
+        return (BEGIN.format(name=name) + "\n" + blocks[name]
+                + END.format(name=name))
+
+    new_text = _BLOCK_RE.sub(substitute, text)
+    return new_text, replaced, unknown
+
+
+def regen_file(path: Path, blocks: dict[str, str],
+               check: bool = False) -> list[str]:
+    """Regenerate one file's blocks in place; returns drifted names.
+
+    In check mode the file is left untouched and the drifted block
+    names are returned for the caller to report.
+    """
+    text = path.read_text(encoding="utf-8")
+    new_text, replaced, unknown = apply_blocks(text, blocks)
+    if unknown:
+        raise DocDriftError(
+            f"{path.name}: marker(s) with no generator: "
+            f"{', '.join(sorted(set(unknown)))}")
+    drifted = []
+    if new_text != text:
+        old_blocks = dict(_BLOCK_RE.findall(text))
+        new_blocks = dict(_BLOCK_RE.findall(new_text))
+        drifted = [name for name in new_blocks
+                   if old_blocks.get(name) != new_blocks[name]]
+        if not check:
+            path.write_text(new_text, encoding="utf-8")
+    return drifted
+
+
+def regen_all(root: Path | None = None, check: bool = False
+              ) -> dict[str, list[str]]:
+    """Regenerate (or check) every doc with generated blocks.
+
+    Returns ``{relative file path: drifted block names}`` for files
+    that changed (or would change, in check mode); empty dict means the
+    docs and the committed artifacts agree.
+    """
+    root = repo_root() if root is None else Path(root)
+    results_dir = root / "results"
+    targets = [
+        (root / "EXPERIMENTS.md", experiments_blocks(results_dir)),
+        (results_dir / "README.md", results_index_blocks(results_dir)),
+    ]
+    drift: dict[str, list[str]] = {}
+    for path, blocks in targets:
+        if not path.exists():
+            continue
+        drifted = regen_file(path, blocks, check=check)
+        if drifted:
+            drift[str(path.relative_to(root))] = drifted
+    return drift

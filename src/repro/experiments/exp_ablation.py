@@ -36,6 +36,7 @@ from repro.hw.machine import XEON_MP_QUAD, MachineConfig
 
 @dataclass(frozen=True)
 class L3SweepResult:
+    """One L3-size ablation sweep: size grid plus metric columns."""
     analyses: dict[int, PivotAnalysis]  # l3_bytes -> CPI pivot analysis
 
 
@@ -61,6 +62,7 @@ def l3_size_sweep(sizes=(512 * 1024, 1024 * 1024, 2 * 1024 * 1024),
 
 
 def render_l3_sweep(result: L3SweepResult) -> str:
+    """Rendered table for the L3-size ablation."""
     rows = []
     for size in sorted(result.analyses):
         analysis = result.analyses[size]
@@ -76,6 +78,7 @@ def render_l3_sweep(result: L3SweepResult) -> str:
 
 @dataclass(frozen=True)
 class DiskSweepResult:
+    """One disk-count ablation sweep: spindle grid plus metrics."""
     records: dict[int, ConfigResult]  # disk count -> 800W record
 
 
@@ -93,6 +96,7 @@ def disk_sweep(counts=(18, 26, 52), warehouses: int = 800,
 
 
 def render_disk_sweep(result: DiskSweepResult) -> str:
+    """Rendered table for the disk-count ablation."""
     rows = []
     for count in sorted(result.records):
         record = result.records[count]
@@ -162,6 +166,7 @@ def fault_sweep(warehouses=(200, 400, 600, 800, IO_BOUND_WAREHOUSES),
 
 
 def render_fault_sweep(result: FaultSweepResult) -> str:
+    """Rendered table for the fault-injection ablation."""
     rows = []
     for healthy, degraded in zip(result.healthy, result.degraded):
         rows.append([healthy.warehouses,
@@ -190,6 +195,7 @@ def render_fault_sweep(result: FaultSweepResult) -> str:
 
 @dataclass(frozen=True)
 class CoherenceResult:
+    """Processor-scaling sweep isolating coherence effects."""
     by_processors: dict[int, ConfigResult]
 
 
@@ -206,6 +212,7 @@ def coherence_sweep(warehouses: int = 400,
 
 
 def render_coherence(result: CoherenceResult) -> str:
+    """Rendered table for the coherence/processor-scaling sweep."""
     rows = []
     for p in sorted(result.by_processors):
         record = result.by_processors[p]

@@ -33,6 +33,7 @@ IO_BOUND_UTILIZATION = 0.80
 
 @dataclass(frozen=True)
 class Fig02Result:
+    """Figure 2 reproduction: per-point utilization classification."""
     by_processors: dict[int, list[ConfigResult]]
     io_bound_point: dict[int, ConfigResult]
 
@@ -47,6 +48,7 @@ class Fig02Result:
 
 
 def classify(record: ConfigResult) -> str:
+    """Label a run io-bound / cpu-bound / balanced (Figure 2 regions)."""
     if record.system.cpu_utilization < IO_BOUND_UTILIZATION:
         return "io-bound"
     if record.system.reads_per_txn < CPU_BOUND_READS_THRESHOLD:
@@ -62,6 +64,7 @@ def run(machine: MachineConfig = XEON_MP_QUAD,
     # 26-disk array cannot hide more I/O anyway); that ceiling is the
     # Table 1 default for the largest grid point, so the whole P x W
     # grid — I/O-bound points included — fans out in one batch.
+    """Run the Figure 2 sweep grid and classify every point."""
     specs = []
     for p in processors:
         for w in FULL_WAREHOUSE_GRID:
@@ -83,6 +86,7 @@ def run(machine: MachineConfig = XEON_MP_QUAD,
 
 
 def render(result: Fig02Result) -> str:
+    """Rendered table for the Figure 2 classification sweep."""
     processors = sorted(result.by_processors)
     xs = [r.warehouses for r in result.by_processors[processors[0]]]
     xs = xs + [result.io_bound_point[processors[0]].warehouses]

@@ -61,6 +61,7 @@ def run(machine: MachineConfig = XEON_MP_QUAD,
         settings: RunnerSettings = DEFAULT_SETTINGS,
         processors=PROCESSOR_GRID,
         warehouses=FULL_WAREHOUSE_GRID) -> ModelingResult:
+    """Fit the two-regime models over a warehouse sweep (Fig. 19 inputs)."""
     records = {p: sweep(warehouses, p, machine=machine, settings=settings)
                for p in processors}
     return analyze(records)
@@ -110,6 +111,7 @@ def render_table5(result: ModelingResult) -> str:
 
 @dataclass(frozen=True)
 class Fig19Result:
+    """Figure 19 reproduction: fits plus extrapolation errors."""
     xeon: PivotAnalysis
     itanium: PivotAnalysis
 
@@ -140,6 +142,7 @@ def run_fig19(settings: RunnerSettings = DEFAULT_SETTINGS,
 
 
 def render_fig19(result: Fig19Result) -> str:
+    """Rendered table for the Figure 19 model fits."""
     rows = []
     for w, itanium_cpi in zip(result.itanium.warehouses,
                               result.itanium.values):
@@ -180,6 +183,7 @@ def run_extrapolation(result: ModelingResult, processors: int = 4,
 
 
 def render_extrapolation(reports: dict[str, list[ExtrapolationReport]]) -> str:
+    """Rendered table for the Section 6.2 extrapolation check."""
     rows = []
     for metric, metric_reports in reports.items():
         for report in metric_reports:

@@ -24,14 +24,17 @@ from repro.hw.machine import MachineConfig, XEON_MP_QUAD
 
 @dataclass(frozen=True)
 class SystemSweep:
+    """Warehouse sweeps keyed by processor count (Figures 3-9 inputs)."""
     by_processors: dict[int, list[ConfigResult]]
 
     @property
     def warehouses(self) -> list[int]:
+        """The shared warehouse grid of the sweeps."""
         first = next(iter(self.by_processors.values()))
         return [r.warehouses for r in first]
 
     def column(self, processors: int, getter) -> list[float]:
+        """One metric column of the sweep at ``processors``."""
         return [getter(r) for r in self.by_processors[processors]]
 
 
@@ -42,6 +45,7 @@ def run(machine: MachineConfig = XEON_MP_QUAD,
         jobs: Optional[int] = None) -> SystemSweep:
     # Every (W, P) point is independent, so the whole P x W grid fans
     # out at once instead of one serial sweep per processor count.
+    """Run the system-behavior sweeps behind Figures 3-9."""
     specs = [RunSpec(warehouses=w, processors=p, machine=machine,
                      settings=settings)
              for p in processors for w in warehouses]

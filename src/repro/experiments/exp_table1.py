@@ -39,6 +39,7 @@ class Table1Result:
     target: float
 
     def clients(self, processors: int, warehouses: int) -> int:
+        """Saturating client count found for one (P, W) cell."""
         return self.entries[(processors, warehouses)].clients
 
 
@@ -61,6 +62,7 @@ def run(machine: MachineConfig = XEON_MP_QUAD,
         warehouses=TABLE1_WAREHOUSES, processors=PROCESSOR_GRID,
         target: float = 0.90, max_clients: int = 96,
         jobs: Optional[int] = None) -> Table1Result:
+    """Run the Table 1 saturation search over the (P, W) grid."""
     cells = [(p, w, machine, settings, target, max_clients)
              for p in processors for w in warehouses]
     solved = map_parallel(_solve_cell, cells, jobs=jobs)
@@ -70,6 +72,7 @@ def run(machine: MachineConfig = XEON_MP_QUAD,
 
 
 def render(result: Table1Result) -> str:
+    """Rendered Table 1 (clients at saturation per cell)."""
     processors = sorted({p for p, _ in result.entries})
     warehouses = sorted({w for _, w in result.entries})
     headers = ["Warehouses"] + [f"{p}P" for p in processors] \

@@ -13,6 +13,7 @@ from repro.hw.machine import MachineConfig, XEON_MP_QUAD
 
 
 def render_table2() -> str:
+    """Rendered Table 2: EMON event aliases and raw names."""
     rows = [[e.alias, " & ".join(e.emon_names), e.description]
             for e in EVENT_TABLE]
     return render_table(
@@ -21,6 +22,7 @@ def render_table2() -> str:
 
 
 def render_table3(machine: MachineConfig = XEON_MP_QUAD) -> str:
+    """Rendered Table 3: stall-cost assumptions per machine."""
     costs = machine.costs
     rows = [
         ["Instruction", costs.instruction, ""],
@@ -38,6 +40,7 @@ def render_table3(machine: MachineConfig = XEON_MP_QUAD) -> str:
 
 
 def render_table4() -> str:
+    """Rendered Table 4: the CPI decomposition formulas."""
     rows = [
         ["Inst", "Instructions * 0.5"],
         ["Branch", "Branch Mispredictions * 20"],
@@ -55,4 +58,5 @@ def render_table4() -> str:
 
 
 def render_all() -> str:
+    """Tables 2-4 rendered together (the committed artifact)."""
     return "\n\n".join([render_table2(), render_table3(), render_table4()])

@@ -76,6 +76,7 @@ class RunSpec:
 
     @property
     def resolved_clients(self) -> int:
+        """Explicit client count, or the paper's scaling rule default."""
         if self.clients is not None:
             return self.clients
         return client_count(self.warehouses, self.processors)
@@ -98,18 +99,21 @@ def effective_jobs(jobs: Optional[int] = None) -> int:
 
 
 def _run_spec(spec: RunSpec, cache_dir: Optional[str],
-              use_cache: bool) -> ConfigResult:
+              use_cache: bool, worker_count: int = 1) -> ConfigResult:
     """Pool worker: run one spec against an explicit cache directory.
 
     Top-level (picklable by reference).  Each worker process builds its
     own :class:`ResultCache` handle; all handles point at the same
     directory, which is safe because ``store`` publishes atomically.
+    ``worker_count`` (the pool width) is stamped into the run's
+    manifest so a cached result records how parallel its sweep was.
     """
     cache = ResultCache(Path(cache_dir)) if cache_dir is not None else None
     return run_configuration(
         spec.warehouses, spec.processors, clients=spec.clients,
         machine=spec.machine, settings=spec.settings,
-        use_cache=use_cache, faults=spec.faults, cache=cache)
+        use_cache=use_cache, faults=spec.faults, cache=cache,
+        worker_count=worker_count)
 
 
 def _call_item(fn: Callable[[T], R], item: T) -> R:
@@ -147,7 +151,8 @@ def run_many(specs: Sequence[RunSpec], jobs: Optional[int] = None,
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_run_spec, spec, cache_dir_text, use_cache): index
+                pool.submit(_run_spec, spec, cache_dir_text, use_cache,
+                            workers): index
                 for index, spec in enumerate(specs)
             }
             results: list[Optional[ConfigResult]] = [None] * len(specs)

@@ -60,6 +60,7 @@ class ConfigResult:
 
     @property
     def ipx(self) -> float:
+        """Total instructions per transaction (user + OS)."""
         return self.system.ipx
 
     @property
@@ -72,6 +73,7 @@ class ConfigResult:
                 + self.system.os_ipx * self.cpi.os_cpi) / total
 
     def to_dict(self) -> dict:
+        """Plain-dict form, ready for JSON serialization."""
         return {
             "schema_version": SCHEMA_VERSION,
             "machine": self.machine,
@@ -95,6 +97,7 @@ class ConfigResult:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ConfigResult":
+        """Rebuild a result from its :meth:`to_dict` payload."""
         version = data.get("schema_version", 1)
         if version != SCHEMA_VERSION:
             raise SchemaMismatchError(
@@ -157,12 +160,43 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
+    def manifest_path(self, key: str) -> Path:
+        """Where the run manifest of ``key`` lives, beside the result."""
+        return self.directory / f"{key}.manifest.json"
+
+    def store_manifest(self, key: str, manifest) -> Optional[Path]:
+        """Persist a :class:`repro.obs.manifest.RunManifest` beside ``key``.
+
+        Manifests are descriptive metadata (wall time, git revision,
+        worker count): best-effort, never load-bearing, so a write
+        failure is swallowed rather than failing the run.
+        """
+        if not self.enabled:
+            return None
+        try:
+            return manifest.save(self.manifest_path(key))
+        except OSError:  # pragma: no cover - metadata only
+            return None
+
+    def load_manifest(self, key: str):
+        """The manifest stored beside ``key``, or None."""
+        from repro.obs.manifest import RunManifest
+
+        path = self.manifest_path(key)
+        if not self.enabled or not path.exists():
+            return None
+        try:
+            return RunManifest.load(path)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
     @staticmethod
     def key_for(machine: str, warehouses: int, clients: int, processors: int,
                 settings_fingerprint: str,
                 fault_fingerprint: Optional[str] = None) -> str:
         # Derived machine names ("xeon-mp-quad/l3=512KB") contain path
         # separators and '='; flatten to a filesystem-safe slug.
+        """Filesystem-safe cache key for one configuration."""
         safe_machine = "".join(c if c.isalnum() or c in "-." else "_"
                                for c in machine)
         key = (f"{safe_machine}-w{warehouses}-c{clients}-p{processors}"
@@ -182,6 +216,7 @@ class ResultCache:
             pass
 
     def load(self, key: str) -> Optional[ConfigResult]:
+        """Cached result for ``key``, or ``None`` (miss / corrupt entry)."""
         if not self.enabled:
             return None
         path = self._path(key)
@@ -214,6 +249,7 @@ class ResultCache:
             return None
 
     def store(self, key: str, result: ConfigResult) -> None:
+        """Atomically publish a result under ``key``."""
         if not self.enabled:
             return
         self.directory.mkdir(parents=True, exist_ok=True)

@@ -48,6 +48,8 @@ from repro.experiments.resilience import (
 from repro.faults import FaultPlan
 from repro.hw.machine import MachineConfig, XEON_MP_QUAD
 from repro.hw.trace import TraceGenerator, TraceProfile
+from repro.obs import tracing as _tracing
+from repro.obs.manifest import RunManifest, environment_fields
 from repro.odb.system import OdbConfig, OdbSystem
 from repro.sim.randomness import RandomStreams
 
@@ -57,6 +59,16 @@ from repro.sim.randomness import RandomStreams
 #: parallel workers and tests can point at isolated directories instead
 #: of sharing this one.
 _CACHE: Optional[ResultCache] = None
+
+#: Manifest of the most recent :func:`run_configuration` call in this
+#: process (set on both computed and cache-hit paths; None before the
+#: first run or when a cache hit has no stored manifest).
+_LAST_MANIFEST: Optional[RunManifest] = None
+
+
+def last_manifest() -> Optional[RunManifest]:
+    """The :class:`RunManifest` of the last run in this process."""
+    return _LAST_MANIFEST
 
 
 def default_cache() -> ResultCache:
@@ -110,7 +122,8 @@ def run_configuration(warehouses: int, processors: int,
                       settings: RunnerSettings = DEFAULT_SETTINGS,
                       use_cache: bool = True,
                       faults: Optional[FaultPlan] = None,
-                      cache: Optional[ResultCache] = None) -> ConfigResult:
+                      cache: Optional[ResultCache] = None,
+                      worker_count: int = 1) -> ConfigResult:
     """Run one (W, C, P) configuration end-to-end.
 
     ``clients`` defaults to the Table 1 client count for (W, P).
@@ -120,12 +133,24 @@ def run_configuration(warehouses: int, processors: int,
     degraded substrate would reach the hardware counters.
     ``cache`` overrides the process-wide :func:`default_cache` (parallel
     workers and tests use this for isolated cache directories).
+    ``worker_count`` is recorded in the run's manifest (the pool width
+    of the sweep the run belonged to); it never changes what is
+    computed.
+
+    Observability (DESIGN.md §9): a :class:`~repro.obs.manifest.RunManifest`
+    is built for every computed run and persisted beside the cached
+    result (``<key>.manifest.json``); when tracing is enabled
+    (:func:`repro.obs.enable_tracing`) the hot phases — the system DES,
+    trace generation, and CPI solve of each fixed-point round — open
+    nested spans with counter totals attached.  With tracing disabled
+    the run is bit-identical to an uninstrumented build (golden-pinned).
 
     Raises :class:`~repro.experiments.resilience.ConvergenceError` when
     the CPI fixed point diverges and
     :class:`~repro.experiments.resilience.WatchdogTimeout` when
     ``settings.wall_clock_limit_s`` is exceeded between coupled rounds.
     """
+    global _LAST_MANIFEST
     if clients is None:
         clients = client_count(warehouses, processors)
     if cache is None:
@@ -135,53 +160,77 @@ def run_configuration(warehouses: int, processors: int,
     if use_cache:
         cached = cache.load(key)
         if cached is not None:
+            _LAST_MANIFEST = cache.load_manifest(key)
             return cached
 
     context = (f"{machine.name} W={warehouses} C={clients} P={processors}"
                + (" faulted" if faults is not None else ""))
     started = time.monotonic()
+    started_cpu = time.process_time()
     guard = ConvergenceGuard(context=context)
     user_cpi, os_cpi = 2.5, 2.0
     system_metrics = None
     rates = None
     solution = None
-    for round_index in range(settings.fixed_point_rounds):
-        if settings.wall_clock_limit_s is not None and round_index > 0:
-            elapsed = time.monotonic() - started
-            if elapsed > settings.wall_clock_limit_s:
-                raise WatchdogTimeout(settings.wall_clock_limit_s, elapsed,
-                                      context=context)
-        config = OdbConfig(
-            warehouses=warehouses,
-            clients=clients,
-            processors=processors,
-            machine=machine,
-            seed=settings.seed,
-            user_cpi=user_cpi,
-            os_cpi=os_cpi,
-            faults=faults,
-        )
-        system_metrics = OdbSystem(config).run(
-            warmup_txns=settings.warmup_txns,
-            measure_txns=settings.measure_txns,
-            time_limit_s=settings.time_limit_s,
-        )
-        profile = TraceProfile(
-            warehouses=warehouses,
-            processors=processors,
-            clients=clients,
-            user_ipx=system_metrics.user_ipx,
-            os_ipx=system_metrics.os_ipx,
-            reads_per_txn=system_metrics.reads_per_txn,
-            context_switches_per_txn=system_metrics.context_switches_per_txn,
-        )
-        generator = TraceGenerator(
-            machine, profile,
-            RandomStreams(settings.seed).fork(f"trace-round{round_index}"))
-        rates = generator.run(settings.trace_txns,
-                              warmup=settings.trace_warmup)
-        solution = solve_cpi(rates, machine, processors)
-        user_cpi, os_cpi = guard.admit(solution.user_cpi, solution.os_cpi)
+    with _tracing.span("run-configuration") as run_span:
+        if run_span is not None:
+            run_span.counters.update({
+                "warehouses": warehouses, "clients": clients,
+                "processors": processors, "seed": settings.seed})
+        for round_index in range(settings.fixed_point_rounds):
+            if settings.wall_clock_limit_s is not None and round_index > 0:
+                elapsed = time.monotonic() - started
+                if elapsed > settings.wall_clock_limit_s:
+                    raise WatchdogTimeout(settings.wall_clock_limit_s,
+                                          elapsed, context=context)
+            with _tracing.span(f"fixed-point-round-{round_index}"):
+                config = OdbConfig(
+                    warehouses=warehouses,
+                    clients=clients,
+                    processors=processors,
+                    machine=machine,
+                    seed=settings.seed,
+                    user_cpi=user_cpi,
+                    os_cpi=os_cpi,
+                    faults=faults,
+                )
+                with _tracing.span("system-des") as span:
+                    system_metrics = OdbSystem(config).run(
+                        warmup_txns=settings.warmup_txns,
+                        measure_txns=settings.measure_txns,
+                        time_limit_s=settings.time_limit_s,
+                    )
+                    if span is not None:
+                        span.count("transactions",
+                                   system_metrics.transactions)
+                        span.count("tps", system_metrics.tps)
+                profile = TraceProfile(
+                    warehouses=warehouses,
+                    processors=processors,
+                    clients=clients,
+                    user_ipx=system_metrics.user_ipx,
+                    os_ipx=system_metrics.os_ipx,
+                    reads_per_txn=system_metrics.reads_per_txn,
+                    context_switches_per_txn=(
+                        system_metrics.context_switches_per_txn),
+                )
+                generator = TraceGenerator(
+                    machine, profile,
+                    RandomStreams(settings.seed).fork(
+                        f"trace-round{round_index}"))
+                with _tracing.span("trace-generation") as span:
+                    rates = generator.run(settings.trace_txns,
+                                          warmup=settings.trace_warmup)
+                    if span is not None:
+                        span.counters.update(
+                            generator.counts().as_counter_dict())
+                with _tracing.span("solve-cpi") as span:
+                    solution = solve_cpi(rates, machine, processors)
+                    if span is not None:
+                        span.count("iterations", solution.iterations)
+                        span.count("cpi", solution.cpi)
+                user_cpi, os_cpi = guard.admit(solution.user_cpi,
+                                               solution.os_cpi)
 
     assert system_metrics is not None and rates is not None \
         and solution is not None
@@ -200,8 +249,27 @@ def run_configuration(warehouses: int, processors: int,
                                 system_metrics.ipx, effective_cpi),
         fixed_point_rounds=settings.fixed_point_rounds,
     )
+    manifest = RunManifest(
+        config_key=key,
+        machine=machine.name,
+        warehouses=warehouses,
+        clients=clients,
+        processors=processors,
+        seed=settings.seed,
+        settings_fingerprint=settings_fingerprint(settings),
+        fault_fingerprint=(faults.fingerprint()
+                           if faults is not None else None),
+        worker_count=max(1, worker_count),
+        wall_time_s=time.monotonic() - started,
+        cpu_time_s=time.process_time() - started_cpu,
+        fixed_point_rounds=settings.fixed_point_rounds,
+        tracing_enabled=_tracing.tracing_enabled(),
+        **environment_fields(),
+    )
+    _LAST_MANIFEST = manifest
     if use_cache:
         cache.store(key, result)
+        cache.store_manifest(key, manifest)
     return result
 
 

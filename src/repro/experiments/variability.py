@@ -46,10 +46,12 @@ class MetricVariability:
 
     @property
     def mean(self) -> float:
+        """Mean of the metric across seeds."""
         return sum(self.samples) / len(self.samples)
 
     @property
     def stdev(self) -> float:
+        """Sample standard deviation across seeds."""
         n = len(self.samples)
         if n < 2:
             return 0.0
@@ -58,6 +60,7 @@ class MetricVariability:
 
     @property
     def coefficient_of_variation(self) -> float:
+        """stdev / mean across seeds (run-to-run variability)."""
         mu = self.mean
         return self.stdev / abs(mu) if mu else 0.0
 
@@ -82,6 +85,7 @@ class VariabilityReport:
     metrics: dict[str, MetricVariability]
 
     def metric(self, name: str) -> MetricVariability:
+        """Variability summary for one metric; raises ``KeyError`` with the known names."""
         try:
             return self.metrics[name]
         except KeyError:

@@ -178,6 +178,7 @@ class FaultPlan:
     # -- serialization -------------------------------------------------------
 
     def to_dict(self) -> dict:
+        """Plain-dict form, ready for JSON serialization."""
         return {
             "seed": self.seed,
             "disks": [dataclasses.asdict(d) for d in self.disks],
@@ -190,6 +191,7 @@ class FaultPlan:
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan from its :meth:`to_dict` payload."""
         def windows(raw):
             return tuple(tuple(w) for w in raw)
 
@@ -212,14 +214,17 @@ class FaultPlan:
         )
 
     def to_json(self, indent: int = 2) -> str:
+        """JSON text form (stable key order)."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from JSON text."""
         return cls.from_dict(json.loads(text))
 
     @classmethod
     def load(cls, path: Path | str) -> "FaultPlan":
+        """Read a plan from a JSON file on disk."""
         return cls.from_json(Path(path).read_text(encoding="utf-8"))
 
     def fingerprint(self) -> str:
@@ -232,6 +237,7 @@ class FaultPlan:
 
     @property
     def injects_anything(self) -> bool:
+        """Whether the plan perturbs the run at all."""
         return bool(self.disks or self.log_stalls or self.lock_storms
                     or (self.aborts is not None
                         and self.aborts.probability > 0))
@@ -266,6 +272,7 @@ class DiskFaultModel:
             windows.sort()
 
     def latency_factor(self, index: int) -> float:
+        """Current service-time multiplier for disk ``index``."""
         return self._factors[index]
 
     def outage_wait_s(self, index: int, now: float) -> float:

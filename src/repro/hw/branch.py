@@ -55,5 +55,6 @@ class BimodalPredictor:
         return self.mispredictions / self.predictions
 
     def reset_stats(self) -> None:
+        """Zero the prediction counters (tables are kept)."""
         self.predictions = 0
         self.mispredictions = 0

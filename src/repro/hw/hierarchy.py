@@ -44,9 +44,11 @@ class SplitCount:
 
     @property
     def total(self) -> int:
+        """User + OS total."""
         return self.user + self.kernel
 
     def add(self, kernel: bool, amount: int = 1) -> None:
+        """Accumulate into the user or OS bucket."""
         if kernel:
             self.kernel += amount
         else:
@@ -68,6 +70,22 @@ class HierarchyCounts:
     l3_writebacks: SplitCount = field(default_factory=SplitCount)
     coherence_misses: SplitCount = field(default_factory=SplitCount)
     context_switches: int = 0
+
+    def as_counter_dict(self) -> dict[str, float]:
+        """Flat totals for observability spans (:mod:`repro.obs`).
+
+        One entry per Table 2 count (user+kernel summed), computed once
+        when a phase span closes — the cache/TLB walk hot paths above
+        are never touched by tracing.
+        """
+        flat: dict[str, float] = {}
+        for name in ("data_refs", "code_refs", "branches", "mispredicts",
+                     "tlb_misses", "tc_misses", "l2_misses", "l3_misses",
+                     "l3_writebacks", "coherence_misses"):
+            split: SplitCount = getattr(self, name)
+            flat[name] = float(split.total)
+        flat["context_switches"] = float(self.context_switches)
+        return flat
 
 
 class CpuHierarchy:
@@ -221,9 +239,11 @@ class SmpHierarchy:
         self.cpus[cpu].fetch(address, kernel)
 
     def branch(self, cpu: int, pc: int, taken: bool, kernel: bool) -> None:
+        """Run one branch through the predictor, counting the outcome."""
         self.cpus[cpu].branch(pc, taken, kernel)
 
     def context_switch(self, cpu: int) -> None:
+        """Apply context-switch perturbation to TLBs and caches."""
         self.cpus[cpu].context_switch()
 
     def merged_counts(self) -> HierarchyCounts:

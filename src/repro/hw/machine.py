@@ -42,10 +42,12 @@ class CacheConfig:
 
     @property
     def total_lines(self) -> int:
+        """Line count of the cache (capacity / line size)."""
         return self.size_bytes // self.line_bytes
 
     @property
     def num_sets(self) -> int:
+        """Set count of the cache (lines / associativity)."""
         return self.total_lines // self.associativity
 
 

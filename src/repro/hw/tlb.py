@@ -35,15 +35,19 @@ class Tlb:
 
     @property
     def accesses(self) -> int:
+        """Translations attempted so far."""
         return self._cache.accesses
 
     @property
     def misses(self) -> int:
+        """Translations that missed the TLB."""
         return self._cache.misses
 
     @property
     def miss_rate(self) -> float:
+        """misses / accesses (0 before any access)."""
         return self._cache.miss_rate
 
     def reset_stats(self) -> None:
+        """Zero the access/miss counters (entries are kept)."""
         self._cache.reset_stats()

@@ -183,6 +183,7 @@ class MicroarchRates:
     l3_miss_ratio: float
 
     def validate(self) -> None:
+        """Sanity-check the miss-rate ordering (L3 <= L2)."""
         if self.l3_misses_per_instr > self.l2_misses_per_instr + 1e-12:
             raise ValueError("L3 misses cannot exceed L2 misses")
 

@@ -1,0 +1,69 @@
+"""Observability: run tracing, manifests, and counter provenance.
+
+The paper's contribution is *measurement* — EMON counter sweeps
+decomposed into IPX/CPI components — so the reproduction's own runs
+must not be black boxes.  This package makes every run observable on
+three axes:
+
+- :mod:`repro.obs.tracing` — span-based phase tracing (trace
+  generation, DES loop, fixed-point rounds) with nesting, counters and
+  per-phase wall/CPU timings.  **Off by default and zero-overhead when
+  off**: hot paths check one module-level flag, and a disabled run is
+  bit-identical to a build without this package (pinned by the golden
+  tests).
+- :mod:`repro.obs.manifest` — a :class:`~repro.obs.manifest.RunManifest`
+  (config hash, seed, package version, git revision, wall/CPU time,
+  worker count) attached to every runner/parallel run and persisted
+  beside the cached result.
+- :mod:`repro.obs.provenance` — an
+  :class:`~repro.obs.provenance.EmonProvenance` record mapping each
+  reported counter (IPX, CPI components, MPI, bus occupancy) back to
+  the raw :mod:`repro.emon` events and Table 3 stall-cost entries that
+  produced it, mirroring the paper's Tables 2-4 derivations.
+
+Typical use::
+
+    from repro import obs
+
+    tracer = obs.enable_tracing()
+    result = run_configuration(100, 4, use_cache=False)
+    obs.disable_tracing()
+    for depth, span in tracer.walk():
+        print("  " * depth, span.name, span.duration_s)
+
+or via the CLI: ``python -m repro report -w 100 -p 4``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.manifest import MANIFEST_VERSION, RunManifest, git_revision
+from repro.obs.provenance import (
+    CounterProvenance,
+    EmonProvenance,
+    emon_provenance,
+)
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "RunManifest",
+    "git_revision",
+    "CounterProvenance",
+    "EmonProvenance",
+    "emon_provenance",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "span",
+    "tracing_enabled",
+]

@@ -25,6 +25,7 @@ class TransactionMix:
         self._cdf[-1] = 1.0
 
     def pick(self, rng: Random) -> TransactionProfile:
+        """Draw one transaction type from the mix."""
         u = rng.random()
         for probability, profile in zip(self._cdf, self.profiles):
             if u <= probability:
@@ -32,6 +33,7 @@ class TransactionMix:
         return self.profiles[-1]
 
     def by_name(self, name: str) -> TransactionProfile:
+        """The mix entry for ``name``; raises ``KeyError`` if unknown."""
         for profile in self.profiles:
             if profile.name == name:
                 return profile

@@ -63,15 +63,18 @@ class OdbSchema:
             raise ValueError("warehouses must be positive")
 
     def build_block_space(self) -> BlockSpace:
+        """The block space sized for this schema."""
         return BlockSpace(self.warehouses, odb_segments(self.unit_bytes),
                           self.unit_bytes)
 
     @property
     def districts(self) -> int:
+        """District count (warehouses x 10, per TPC-C)."""
         return self.warehouses * DISTRICTS_PER_WAREHOUSE
 
     @property
     def customers(self) -> int:
+        """Customer count (districts x 3000, per TPC-C)."""
         return self.districts * CUSTOMERS_PER_DISTRICT
 
     @property

@@ -27,6 +27,7 @@ from repro.odb.client import client_process
 from repro.odb.mix import TransactionMix
 from repro.odb.schema import OdbSchema
 from repro.odb.transactions import _SegmentSampler, TransactionProfile
+from repro.obs import tracing as _tracing
 from repro.osmodel.disks import DiskArray
 from repro.osmodel.kernelcost import KernelCosts
 from repro.osmodel.scheduler import Scheduler
@@ -74,6 +75,7 @@ class OdbConfig:
             raise ValueError("CPI values must be positive")
 
     def with_cpi(self, user_cpi: float, os_cpi: float) -> "OdbConfig":
+        """Copy of the config with replaced user/OS CPI values."""
         import dataclasses
 
         return dataclasses.replace(self, user_cpi=user_cpi, os_cpi=os_cpi)
@@ -130,6 +132,7 @@ class SystemMetrics:
 
     @property
     def io_total_kb_per_txn(self) -> float:
+        """Read + write KB per transaction."""
         return self.io_read_kb_per_txn + self.io_write_kb_per_txn
 
 
@@ -274,10 +277,20 @@ class OdbSystem:
         terminates (its low TPS is the result, not an error).
         """
         if prewarm_plans > 0 and self.db.transactions.count == 0:
-            self.prewarm_buffer_cache(prewarm_plans)
-        self._run_until_transactions(warmup_txns, time_limit_s)
+            with _tracing.span("des-prewarm"):
+                self.prewarm_buffer_cache(prewarm_plans)
+        with _tracing.span("des-warmup") as span:
+            self._run_until_transactions(warmup_txns, time_limit_s)
+            if span is not None:
+                span.count("transactions", self.db.transactions.count)
         before = self._snapshot()
-        self._run_until_transactions(warmup_txns + measure_txns, time_limit_s)
+        with _tracing.span("des-measure") as span:
+            self._run_until_transactions(warmup_txns + measure_txns,
+                                         time_limit_s)
+            if span is not None:
+                span.count("transactions",
+                           self.db.transactions.count - warmup_txns)
+                span.count("sim_time_s", self.engine.now)
         after = self._snapshot()
         return self._metrics(before, after)
 

@@ -34,6 +34,7 @@ class DiskRequest:
 
     @property
     def latency_s(self) -> float:
+        """Service time in seconds for one request of ``kb`` kilobytes."""
         return self.queued_s + self.service_s
 
 
@@ -148,4 +149,5 @@ class DiskArray:
 
     @property
     def total_queue_length(self) -> int:
+        """Requests queued or in service across all spindles."""
         return sum(d.queue_length for d in self._data_disks + self._log_disks)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
+from repro.obs import tracing as _tracing
 from repro.sim.engine import URGENT, Engine, Event, SimulationError
 
 
@@ -22,6 +23,7 @@ class Interrupt(Exception):
 
     @property
     def cause(self) -> Any:
+        """Human-readable blocking cause, for diagnostics."""
         return self.args[0] if self.args else None
 
 
@@ -36,6 +38,8 @@ class Process(Event):
         super().__init__(engine)
         self._generator = generator
         self._waiting_on: Event | None = None
+        if _tracing.ACTIVE:  # phase-level observability, never per event
+            _tracing.current_tracer().count("processes_started")
         # Kick off the process at the current simulation time.
         bootstrap = Event(engine)
         bootstrap.add_callback(self._resume)

@@ -26,6 +26,7 @@ class Counter:
         self.count = 0.0
 
     def add(self, amount: float = 1.0) -> None:
+        """Increment the counter; negative amounts are rejected."""
         if amount < 0:
             raise ValueError(f"counter {self.name!r} decremented by {amount}")
         self.count += amount
@@ -49,6 +50,7 @@ class Tally:
         self.maximum = -math.inf
 
     def record(self, value: float) -> None:
+        """Fold one observation into the running moments."""
         self.n += 1
         delta = value - self._mean
         self._mean += delta / self.n
@@ -60,6 +62,7 @@ class Tally:
 
     @property
     def mean(self) -> float:
+        """Mean of the recorded observations."""
         return self._mean if self.n else 0.0
 
     @property
@@ -69,6 +72,7 @@ class Tally:
 
     @property
     def stdev(self) -> float:
+        """Sample standard deviation of the observations."""
         return math.sqrt(self.variance)
 
 
@@ -134,6 +138,7 @@ class IntervalWatcher:
         self._open_time: Optional[float] = None
 
     def open(self, counters: dict[str, Counter]) -> None:
+        """Begin an interval: snapshot all counters and the clock."""
         if self._open_time is not None:
             raise RuntimeError("interval already open")
         self._open_time = self._clock()

@@ -1,0 +1,111 @@
+"""Tests for the self-regenerating doc blocks (repro docs regen)."""
+
+import pytest
+
+from repro.experiments.docs import (
+    DocDriftError,
+    apply_blocks,
+    artifact_checksum,
+    artifact_index_block,
+    embed_artifact_block,
+    experiments_blocks,
+    regen_all,
+    regen_file,
+    repo_root,
+)
+
+
+def doc_text(body: str, name: str = "demo") -> str:
+    return (f"intro prose\n\n<!-- repro:begin {name} -->\n{body}"
+            f"<!-- repro:end {name} -->\n\ntrailing prose\n")
+
+
+class TestApplyBlocks:
+    def test_replaces_named_block(self):
+        text = doc_text("stale\n")
+        new, replaced, unknown = apply_blocks(text, {"demo": "fresh\n"})
+        assert "fresh" in new and "stale" not in new
+        assert replaced == ["demo"] and unknown == []
+        assert new.startswith("intro prose") and new.endswith("prose\n")
+
+    def test_idempotent(self):
+        text = doc_text("stale\n")
+        once, _, _ = apply_blocks(text, {"demo": "fresh\n"})
+        twice, _, _ = apply_blocks(once, {"demo": "fresh\n"})
+        assert once == twice
+
+    def test_unknown_marker_reported_not_rewritten(self):
+        text = doc_text("body\n", name="mystery")
+        new, replaced, unknown = apply_blocks(text, {"demo": "x\n"})
+        assert new == text
+        assert replaced == [] and unknown == ["mystery"]
+
+    def test_multiple_blocks_in_one_file(self):
+        text = doc_text("a\n", "first") + doc_text("b\n", "second")
+        new, replaced, _ = apply_blocks(
+            text, {"first": "A\n", "second": "B\n"})
+        assert "A" in new and "B" in new
+        assert sorted(replaced) == ["first", "second"]
+
+
+class TestRegenFile:
+    def test_write_and_drift_detection(self, tmp_path):
+        path = tmp_path / "doc.md"
+        path.write_text(doc_text("stale\n"))
+        drifted = regen_file(path, {"demo": "fresh\n"})
+        assert drifted == ["demo"]
+        assert "fresh" in path.read_text()
+        # Now in sync: no drift either way.
+        assert regen_file(path, {"demo": "fresh\n"}) == []
+        assert regen_file(path, {"demo": "fresh\n"}, check=True) == []
+
+    def test_check_mode_leaves_file_untouched(self, tmp_path):
+        path = tmp_path / "doc.md"
+        original = doc_text("stale\n")
+        path.write_text(original)
+        drifted = regen_file(path, {"demo": "fresh\n"}, check=True)
+        assert drifted == ["demo"]
+        assert path.read_text() == original
+
+    def test_unknown_marker_is_an_error(self, tmp_path):
+        path = tmp_path / "doc.md"
+        path.write_text(doc_text("x\n", name="typoed-name"))
+        with pytest.raises(DocDriftError, match="typoed-name"):
+            regen_file(path, {"demo": "y\n"})
+
+
+class TestBlockBuilders:
+    def test_artifact_index_lists_files_with_checksums(self, tmp_path):
+        (tmp_path / "a.txt").write_text("Title A\nrow\n")
+        (tmp_path / "b.txt").write_text("Title B\n")
+        block = artifact_index_block(tmp_path)
+        assert "`results/a.txt`" in block and "Title A" in block
+        assert artifact_checksum("Title A\nrow\n") in block
+        # Sorted order: a before b.
+        assert block.index("a.txt") < block.index("b.txt")
+
+    def test_embed_block_quotes_the_artifact(self, tmp_path):
+        (tmp_path / "t.txt").write_text("Table\n1  2\n")
+        block = embed_artifact_block(tmp_path, "t.txt")
+        assert "```text\nTable\n1  2\n```" in block
+        assert artifact_checksum("Table\n1  2\n") in block
+
+    def test_checksum_is_content_sensitive(self):
+        assert artifact_checksum("a") != artifact_checksum("b")
+
+    def test_experiments_blocks_skip_missing_artifacts(self, tmp_path):
+        blocks = experiments_blocks(tmp_path)
+        assert "artifact-index" in blocks
+        assert "table5-pivots" not in blocks
+
+
+class TestRepositoryDocs:
+    """The committed docs must be in sync with the committed artifacts."""
+
+    def test_regen_all_check_passes_on_the_repo(self):
+        assert regen_all(check=True) == {}
+
+    def test_repo_root_looks_right(self):
+        root = repo_root()
+        assert (root / "EXPERIMENTS.md").exists()
+        assert (root / "src" / "repro").is_dir()

@@ -1,9 +1,29 @@
-"""Tests for text rendering and ASCII charts."""
+"""Tests for text rendering, ASCII charts, and run-report dashboards."""
+
+import json
+from pathlib import Path
 
 import pytest
 
 from repro.experiments.charts import render_chart
-from repro.experiments.report import render_series, render_table
+from repro.experiments.records import ConfigResult
+from repro.experiments.report import (
+    RunReport,
+    ReportSection,
+    build_run_report,
+    fault_timeline_section,
+    phase_section,
+    provenance_section,
+    render_series,
+    render_table,
+    write_run_report,
+)
+from repro.faults import FaultPlan
+from repro.obs.manifest import RunManifest
+from repro.obs.provenance import emon_provenance
+from repro.obs.tracing import Tracer
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
 
 class TestRenderTable:
@@ -94,3 +114,136 @@ class TestRenderChart:
         text = render_chart("C", [0, 10], {"y": [0.0, 1.0]},
                             y_label="CPI", x_label="warehouses")
         assert "CPI" in text and "warehouses" in text
+
+
+# ---------------------------------------------------------------------------
+# Run-report dashboards
+
+
+@pytest.fixture(scope="module")
+def golden_result() -> ConfigResult:
+    path = GOLDEN_DIR / "config_w50_p2_fast.json"
+    return ConfigResult.from_dict(json.loads(path.read_text()))
+
+
+def fixed_clock():
+    state = {"now": 0.0}
+
+    def clock() -> float:
+        state["now"] += 1.0
+        return state["now"]
+
+    return clock
+
+
+class TestRunReportRendering:
+    def section(self):
+        return ReportSection("Sec", ["k", "v"], [["a|b", 1.5], ["c", True]])
+
+    def test_markdown_is_a_pipe_table_with_escaping(self):
+        text = RunReport("Title", [self.section()]).to_markdown()
+        assert text.startswith("# Title")
+        assert "## Sec" in text
+        assert "| k | v |" in text
+        assert "a\\|b" in text          # cell pipes escaped
+        assert "| yes |" in text        # bool formatting
+
+    def test_html_is_self_contained_and_escaped(self):
+        section = ReportSection("S", ["h"], [["<script>"]])
+        text = RunReport("T<br>", [section]).to_html()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<script>" not in text
+        assert "&lt;script&gt;" in text
+        assert "http" not in text       # no external assets
+
+    def test_write_run_report(self, tmp_path):
+        report = RunReport("T", [self.section()])
+        paths = write_run_report(report, tmp_path / "sub", "stem", html=True)
+        assert [p.name for p in paths] == ["stem.md", "stem.html"]
+        assert all(p.exists() for p in paths)
+
+    def test_build_run_report_minimal(self, golden_result):
+        report = build_run_report(golden_result)
+        titles = [s.title for s in report.sections]
+        assert titles == ["Result summary"]
+        assert "W=50" in report.title
+
+    def test_build_run_report_full(self, golden_result):
+        manifest = RunManifest(
+            config_key="k", machine="xeon-mp-quad", warehouses=50,
+            clients=8, processors=2, seed=1,
+            settings_fingerprint="abc", created_unix=0.0)
+        tracer = Tracer(wall_clock=fixed_clock(), cpu_clock=fixed_clock())
+        with tracer.span("run-configuration"):
+            with tracer.span("system-des") as node:
+                node.count("transactions", 10)
+        plan = FaultPlan.from_dict({"seed": 3,
+                                    "aborts": {"probability": 0.05}})
+        report = build_run_report(
+            golden_result, manifest=manifest, tracer=tracer,
+            provenance=emon_provenance(golden_result), faults=plan)
+        titles = [s.title for s in report.sections]
+        assert titles[0] == "Run manifest"
+        assert "Phase timings" in titles
+        assert any(t.startswith("Counter provenance") for t in titles)
+        assert "Fault / retry timeline" in titles
+
+
+class TestPhaseSection:
+    def test_nesting_rendered_with_dot_indent_and_share(self):
+        tracer = Tracer(wall_clock=fixed_clock(), cpu_clock=fixed_clock())
+        with tracer.span("root"):
+            with tracer.span("child") as node:
+                node.count("events", 42)
+        section = phase_section(tracer)
+        names = [row[0] for row in section.rows]
+        assert names == ["root", "· child"]
+        assert section.rows[0][4] == "100%"          # root share of itself
+        assert "events=42" in section.rows[1][5]
+
+
+class TestFaultTimelineSection:
+    def test_events_sorted_and_observed_totals_last(self, golden_result):
+        plan = FaultPlan.from_dict({
+            "seed": 3,
+            "disks": [{"disk": -1, "latency_factor": 2.0,
+                       "outages": [[5.0, 6.0]]}],
+            "aborts": {"probability": 0.05},
+        })
+        section = fault_timeline_section(plan, golden_result)
+        kinds = [row[1] for row in section.rows]
+        assert kinds[-2:] == ["observed aborts/txn", "observed retries/txn"]
+        # t=0 rows (degradation, aborts) precede the t=5 outage.
+        assert kinds.index("disk outage") > kinds.index("disk degradation")
+        assert plan.fingerprint() in section.note
+
+
+class TestProvenanceGolden:
+    """Pin the rendered provenance section for the w50/p2 golden result.
+
+    Regenerate (only for an intentional model/provenance change)::
+
+        PYTHONPATH=src python -c "
+        import json
+        from pathlib import Path
+        from repro.experiments.records import ConfigResult
+        from repro.experiments.report import RunReport, provenance_section
+        from repro.obs.provenance import emon_provenance
+        golden = Path('tests/experiments/golden')
+        r = ConfigResult.from_dict(json.loads(
+            (golden / 'config_w50_p2_fast.json').read_text()))
+        text = RunReport('Provenance golden',
+                         [provenance_section(emon_provenance(r))]
+                         ).to_markdown()
+        (golden / 'report_w50_p2_provenance.md').write_text(text)
+        "
+    """
+
+    def test_rendered_provenance_matches_golden(self, golden_result):
+        expected = (GOLDEN_DIR / "report_w50_p2_provenance.md").read_text()
+        section = provenance_section(emon_provenance(golden_result))
+        text = RunReport("Provenance golden", [section]).to_markdown()
+        assert text == expected, (
+            "provenance rendering drifted from the committed golden "
+            "(metric values, Table 2/4 wiring, or table formatting "
+            "changed)")

@@ -128,8 +128,10 @@ class TestUtilizationFaults:
                                    faults=plan, cache=cache)
         assert 0.0 <= healthy <= 1.0 and 0.0 <= degraded <= 1.0
         # Healthy and faulted runs cache under distinct keys: the faulted
-        # entry carries the plan fingerprint suffix.
-        entries = sorted(p.name for p in tmp_path.glob("*.json"))
+        # entry carries the plan fingerprint suffix.  (Each entry also
+        # has a RunManifest sidecar; exclude those here.)
+        entries = sorted(p.name for p in tmp_path.glob("*.json")
+                         if not p.name.endswith(".manifest.json"))
         assert len(entries) == 2
         assert sum(f"-f{plan.fingerprint()}" in name for name in entries) == 1
 

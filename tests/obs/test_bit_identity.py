@@ -1,0 +1,52 @@
+"""Tracing must not perturb results: traced runs equal the goldens.
+
+This is the enforcement of the zero-perturbation rule in DESIGN.md §9:
+spans read clocks and counters but never touch an RNG stream or a
+metric, so running with tracing enabled produces a ConfigResult
+bit-identical to the committed PR 2 golden files (which were generated
+untraced).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.configs import FAST_SETTINGS
+from repro.experiments.runner import run_configuration
+from repro.obs.tracing import disable_tracing, enable_tracing
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "experiments" / "golden"
+
+CASES = [
+    (50, 2, "config_w50_p2_fast.json"),
+    (100, 4, "config_w100_p4_fast.json"),
+]
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    yield
+    disable_tracing()
+
+
+@pytest.mark.parametrize("warehouses,processors,filename", CASES)
+def test_traced_run_matches_untraced_golden(warehouses, processors, filename):
+    golden = json.loads((GOLDEN_DIR / filename).read_text())
+    tracer = enable_tracing()
+    try:
+        result = run_configuration(warehouses, processors,
+                                   settings=FAST_SETTINGS, use_cache=False)
+    finally:
+        disable_tracing()
+    assert result.to_dict() == golden, (
+        "tracing perturbed the simulation: a traced run no longer "
+        "matches the untraced golden result")
+    # And the trace itself is real: the expected phases were recorded.
+    assert tracer.find("run-configuration") is not None
+    assert tracer.find("fixed-point-round-1") is not None
+    assert tracer.find("system-des") is not None
+    assert tracer.find("trace-generation") is not None
+    assert tracer.find("solve-cpi") is not None
+    des = tracer.find("des-measure")
+    assert des is not None and des.counters.get("transactions", 0) > 0

@@ -1,0 +1,165 @@
+"""Tests for repro.obs.tracing: span trees, counters, the off switch."""
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    """Never leak an installed tracer into other tests."""
+    yield
+    disable_tracing()
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by a fixed step."""
+
+    def __init__(self, step: float = 1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def fake_tracer() -> Tracer:
+    return Tracer(wall_clock=FakeClock(1.0), cpu_clock=FakeClock(0.5))
+
+
+class TestSpanTree:
+    def test_nesting_builds_parent_child_links(self):
+        tracer = fake_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert tracer.roots == [outer]
+        assert outer.children == [inner]
+        assert inner.parent is outer
+        assert outer.parent is None
+
+    def test_sibling_spans_share_a_parent(self):
+        tracer = fake_tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        root = tracer.roots[0]
+        assert [c.name for c in root.children] == ["a", "b"]
+
+    def test_durations_from_injected_clocks(self):
+        tracer = fake_tracer()
+        with tracer.span("timed"):
+            pass
+        node = tracer.roots[0]
+        # FakeClock(1.0) read twice (start, end): duration exactly 1.
+        assert node.duration_s == 1.0
+        assert node.cpu_s == 0.5
+
+    def test_self_time_excludes_children(self):
+        tracer = fake_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.roots[0]
+        # outer: starts at wall 0, ends at wall 3 (two reads went to
+        # inner) -> duration 3, inner duration 1, self 2.
+        assert outer.duration_s == 3.0
+        assert outer.children[0].duration_s == 1.0
+        assert outer.self_s == 2.0
+
+    def test_span_closed_when_block_raises(self):
+        tracer = fake_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        node = tracer.roots[0]
+        assert node.end_wall > node.start_wall
+        assert tracer.current is None
+
+    def test_counters_accumulate(self):
+        tracer = fake_tracer()
+        with tracer.span("phase") as node:
+            node.count("events", 3)
+            node.count("events", 2)
+            tracer.count("via-tracer")
+        assert node.counters == {"events": 5.0, "via-tracer": 1.0}
+
+    def test_tracer_count_outside_any_span_is_noop(self):
+        tracer = fake_tracer()
+        tracer.count("orphan")
+        assert tracer.roots == []
+
+    def test_walk_is_depth_first_with_depths(self):
+        tracer = fake_tracer()
+        with tracer.span("r"):
+            with tracer.span("c1"):
+                with tracer.span("g"):
+                    pass
+            with tracer.span("c2"):
+                pass
+        walked = [(depth, node.name) for depth, node in tracer.walk()]
+        assert walked == [(0, "r"), (1, "c1"), (2, "g"), (1, "c2")]
+
+    def test_find(self):
+        tracer = fake_tracer()
+        with tracer.span("r"):
+            with tracer.span("target"):
+                pass
+        assert tracer.find("target").name == "target"
+        assert tracer.find("absent") is None
+
+    def test_to_dict_round_trips_structure(self):
+        tracer = fake_tracer()
+        with tracer.span("r") as node:
+            node.count("n", 2)
+            with tracer.span("c"):
+                pass
+        data = tracer.to_dict()
+        assert data["spans"][0]["name"] == "r"
+        assert data["spans"][0]["counters"] == {"n": 2.0}
+        assert data["spans"][0]["children"][0]["name"] == "c"
+
+
+class TestModuleSwitch:
+    def test_off_by_default(self):
+        assert tracing_enabled() is False
+        assert current_tracer() is None
+        assert tracing.ACTIVE is False
+
+    def test_disabled_span_yields_none_and_records_nothing(self):
+        with span("anything") as node:
+            assert node is None
+
+    def test_enable_installs_and_disable_returns(self):
+        tracer = enable_tracing()
+        assert tracing_enabled() and current_tracer() is tracer
+        assert tracing.ACTIVE is True
+        with span("phase") as node:
+            assert isinstance(node, Span)
+        returned = disable_tracing()
+        assert returned is tracer
+        assert tracing_enabled() is False
+        assert returned.find("phase") is not None
+
+    def test_enable_accepts_existing_tracer(self):
+        mine = fake_tracer()
+        assert enable_tracing(mine) is mine
+        with span("x"):
+            pass
+        assert mine.find("x") is not None
+
+    def test_disable_when_never_enabled_returns_none(self):
+        assert disable_tracing() is None
