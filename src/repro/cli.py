@@ -10,6 +10,9 @@
     python -m repro table1                   # the 90%-utilization search
     python -m repro variability -w 100 -p 4  # multi-seed error bars
     python -m repro report -w 100 -p 4       # traced run -> dashboard
+    python -m repro report --sweep -p 4      # traced sweep -> one report
+    python -m repro trace export -p 4 --grid 10,100   # Chrome trace JSON
+    python -m repro trace validate t.json    # trace_event schema check
     python -m repro docs regen [--check]     # regenerate doc blocks
     python -m repro clear-cache              # drop cached sweep results
 
@@ -23,8 +26,18 @@ see DESIGN.md §8); ``REPRO_SERIAL=1`` forces serial execution.
 
 ``report`` runs one configuration with tracing enabled
 (:mod:`repro.obs`) and writes a Markdown (optionally HTML) dashboard —
-run manifest, phase timings, counter provenance, and the fault/retry
-timeline when ``--faults`` is active — into ``results/reports/``.
+run manifest, result summary, fixed-point convergence trajectory,
+phase timings, counter provenance, and the fault/retry timeline when
+``--faults`` is active — into ``results/reports/``.  ``report
+--sweep`` runs a telemetry sweep instead and aggregates every point's
+manifest/trace/metrics into one sweep dashboard (per-point cost, cache
+provenance, convergence trajectories, sweep-wide flame table).
+``trace export`` writes the same telemetry sweep as Chrome
+``trace_event`` JSON (one track per point) for Perfetto /
+``chrome://tracing``; ``trace validate`` checks a trace file against
+the schema.  Set ``REPRO_METRICS_PATH=events.jsonl`` to stream
+run-started/round-completed/run-finished records live from any
+simulating command.
 ``docs regen`` regenerates the generated blocks of EXPERIMENTS.md and
 results/README.md from the committed ``results/*.txt`` artifacts;
 ``--check`` fails (exit 1) on drift, which CI runs as the doc-drift
@@ -265,12 +278,21 @@ def _reports_dir() -> Path:
     return Path(__file__).resolve().parents[2] / "results" / "reports"
 
 
+def _slug(name: str) -> str:
+    return "".join(c if c.isalnum() or c in "-." else "_" for c in name)
+
+
 def cmd_report(args) -> int:
-    """``repro report``: run one point traced and render a dashboard."""
+    """``repro report``: traced run (or ``--sweep``) -> dashboard."""
     import repro.obs as obs
     from repro.experiments.report import build_run_report, write_run_report
     from repro.experiments.runner import last_manifest
 
+    if args.sweep:
+        return _report_sweep(args)
+    if args.warehouses is None:
+        raise SystemExit("repro report needs -w/--warehouses "
+                         "(or --sweep for a sweep-level report)")
     faults = _faults(args)
     machine = _machine(args)
     tracer = obs.enable_tracing()
@@ -291,12 +313,76 @@ def cmd_report(args) -> int:
         faults=faults,
     )
     out = Path(args.out) if args.out else _reports_dir()
-    slug = "".join(c if c.isalnum() or c in "-." else "_"
-                   for c in machine.name)
-    stem = (f"report_{slug}_w{result.warehouses}"
+    stem = (f"report_{_slug(machine.name)}_w{result.warehouses}"
             f"_c{result.clients}_p{result.processors}")
     for path in write_run_report(report, out, stem, html=args.html):
         print(path)
+    return 0
+
+
+def _report_sweep(args) -> int:
+    """The ``repro report --sweep`` path: one aggregated dashboard."""
+    from repro.experiments.parallel import sweep_telemetry
+    from repro.experiments.report import write_run_report
+    from repro.obs.sweep_report import build_sweep_report
+
+    grid = _parse_grid(args.grid)
+    machine = _machine(args)
+    points = sweep_telemetry(grid, args.processors, machine=machine,
+                             settings=_settings(args), faults=_faults(args),
+                             jobs=args.jobs)
+    report = build_sweep_report(points)
+    out = Path(args.out) if args.out else _reports_dir()
+    stem = (f"sweep_{_slug(machine.name)}_p{args.processors}"
+            f"_w{'-'.join(str(w) for w in grid)}")
+    for path in write_run_report(report, out, stem, html=args.html):
+        print(path)
+    return 0
+
+
+def _traces_dir() -> Path:
+    return Path(__file__).resolve().parents[2] / "results" / "traces"
+
+
+def cmd_trace(args) -> int:
+    """``repro trace``: export a sweep as Chrome trace JSON / validate."""
+    from repro.experiments.parallel import sweep_telemetry
+    from repro.obs.trace_export import (
+        tracks_from_points,
+        validate_chrome_trace_file,
+        write_chrome_trace,
+    )
+
+    if args.action == "validate":
+        if not args.file:
+            raise SystemExit("repro trace validate needs a trace file")
+        problems = validate_chrome_trace_file(args.file)
+        for problem in problems:
+            print(problem)
+        if problems:
+            print(f"{len(problems)} trace schema problem(s)")
+            return 1
+        print(f"{args.file}: valid trace_event JSON")
+        return 0
+
+    grid = _parse_grid(args.grid)
+    machine = _machine(args)
+    points = sweep_telemetry(grid, args.processors, machine=machine,
+                             settings=_settings(args), faults=_faults(args),
+                             jobs=args.jobs)
+    tracks = tracks_from_points(points)
+    if not tracks:
+        raise SystemExit("no spans were recorded (all points were "
+                         "cache hits?); try REPRO_NO_CACHE=1")
+    if args.out:
+        out = Path(args.out)
+    else:
+        out = (_traces_dir()
+               / (f"sweep_{_slug(machine.name)}_p{args.processors}"
+                  f"_w{'-'.join(str(w) for w in grid)}.trace.json"))
+    print(write_chrome_trace(tracks, out))
+    print(f"{len(tracks)} track(s); load in https://ui.perfetto.dev "
+          "or chrome://tracing")
     return 0
 
 
@@ -378,11 +464,18 @@ def build_parser() -> argparse.ArgumentParser:
     var_parser.set_defaults(func=cmd_variability)
 
     report_parser = commands.add_parser(
-        "report", help="traced run -> manifest/phase/provenance dashboard")
-    report_parser.add_argument("-w", "--warehouses", type=int, required=True)
+        "report", help="traced run (or --sweep) -> dashboard")
+    report_parser.add_argument("-w", "--warehouses", type=int, default=None,
+                               help="required unless --sweep")
     report_parser.add_argument("-p", "--processors", type=int, default=4)
     report_parser.add_argument("-c", "--clients", type=int, default=None,
                                help="default: the Table 1 value for (W, P)")
+    report_parser.add_argument("--sweep", action="store_true",
+                               help="aggregate a whole warehouse sweep "
+                                    "into one report")
+    report_parser.add_argument("--grid", default=None,
+                               help="warehouse grid for --sweep "
+                                    "(comma-separated)")
     report_parser.add_argument("--html", action="store_true",
                                help="also write an HTML dashboard")
     report_parser.add_argument("--out", default=None, metavar="DIR",
@@ -390,7 +483,26 @@ def build_parser() -> argparse.ArgumentParser:
                                     "(default: results/reports/)")
     _add_common(report_parser)
     _add_faults(report_parser)
+    _add_jobs(report_parser)
     report_parser.set_defaults(func=cmd_report)
+
+    trace_parser = commands.add_parser(
+        "trace", help="Chrome trace_event export of a telemetry sweep")
+    trace_parser.add_argument("action", choices=("export", "validate"),
+                              help="export: run a sweep and write trace "
+                                   "JSON; validate: schema-check a file")
+    trace_parser.add_argument("file", nargs="?", default=None,
+                              help="trace file (validate only)")
+    trace_parser.add_argument("-p", "--processors", type=int, default=4)
+    trace_parser.add_argument("--grid", default=None,
+                              help="comma-separated warehouse counts")
+    trace_parser.add_argument("--out", default=None, metavar="PATH",
+                              help="output trace file "
+                                   "(default: results/traces/*.trace.json)")
+    _add_common(trace_parser)
+    _add_faults(trace_parser)
+    _add_jobs(trace_parser)
+    trace_parser.set_defaults(func=cmd_trace)
 
     docs_parser = commands.add_parser(
         "docs", help="regenerate doc blocks from results/ artifacts")

@@ -50,6 +50,9 @@ from repro.experiments.runner import (
 )
 from repro.faults import FaultPlan
 from repro.hw.machine import MachineConfig, XEON_MP_QUAD
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+from repro.obs.manifest import RunManifest
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -87,6 +90,47 @@ class RunSpec:
                                  self.resolved_clients, self.processors,
                                  self.settings, self.faults)
 
+    @property
+    def label(self) -> str:
+        """Human-readable point name (report/trace track titles)."""
+        text = (f"{self.machine.name} W={self.warehouses} "
+                f"C={self.resolved_clients} P={self.processors}")
+        if self.faults is not None:
+            text += " faulted"
+        return text
+
+
+@dataclass(frozen=True)
+class PointTelemetry:
+    """One sweep point's result plus the telemetry its run produced.
+
+    The worker → parent unit of a telemetry sweep: ``trace`` and
+    ``metrics`` are *serialized* payloads
+    (:meth:`repro.obs.tracing.Tracer.to_dict` /
+    :meth:`repro.obs.metrics.MetricsRegistry.to_dict`) so the whole
+    object pickles across the process boundary; ``manifest`` rides
+    along as the (picklable) dataclass.  A cache-hit point carries the
+    stored manifest but an empty trace — it never simulated.
+    """
+
+    spec: RunSpec
+    result: ConfigResult
+    manifest: Optional[RunManifest] = None
+    trace: Optional[dict] = None
+    metrics: Optional[dict] = None
+
+    @property
+    def label(self) -> str:
+        """The spec's human-readable point name."""
+        return self.spec.label
+
+    @property
+    def cache_hit(self) -> bool:
+        """True when the point was served from cache (nothing traced)."""
+        if self.metrics is None:
+            return False
+        return self.metrics.get("counters", {}).get("cache.hits", 0) > 0
+
 
 def effective_jobs(jobs: Optional[int] = None) -> int:
     """Worker count after policy: ``REPRO_SERIAL=1`` wins, ``None``
@@ -114,6 +158,49 @@ def _run_spec(spec: RunSpec, cache_dir: Optional[str],
         machine=spec.machine, settings=spec.settings,
         use_cache=use_cache, faults=spec.faults, cache=cache,
         worker_count=worker_count)
+
+
+def _run_spec_telemetry(spec: RunSpec, cache_dir: Optional[str],
+                        use_cache: bool,
+                        worker_count: int = 1) -> PointTelemetry:
+    """Pool worker: run one spec with tracing+metrics and ship both back.
+
+    Installs a *fresh* tracer and registry around the run and restores
+    whatever was active before (in the serial fallback this runs in the
+    parent, which may already be tracing), so telemetry collection
+    composes instead of clobbering.  The returned payloads are
+    serialized dicts — the parent deserializes with
+    ``Tracer.from_dict`` and merges metrics with ``registry.merge``.
+    """
+    prev_tracer = _tracing.current_tracer()
+    prev_registry = _metrics.current_registry()
+    tracer = _tracing.enable_tracing(_tracing.Tracer())
+    registry = _metrics.enable_metrics(_metrics.MetricsRegistry(
+        os.environ.get(_metrics.METRICS_PATH_ENV)))
+    try:
+        result = _run_spec(spec, cache_dir, use_cache,
+                           worker_count=worker_count)
+    finally:
+        if prev_tracer is not None:
+            _tracing.enable_tracing(prev_tracer)
+        else:
+            _tracing.disable_tracing()
+        if prev_registry is not None:
+            _metrics.enable_metrics(prev_registry)
+        else:
+            _metrics.disable_metrics()
+    from repro.experiments.runner import last_manifest
+
+    return PointTelemetry(
+        spec=spec,
+        result=result,
+        manifest=last_manifest(),
+        # A cache hit never opens a span; ship a falsy trace so track
+        # builders and reports skip the point instead of rendering an
+        # empty timeline.
+        trace=tracer.to_dict() if tracer.roots else {},
+        metrics=registry.to_dict(),
+    )
 
 
 def _call_item(fn: Callable[[T], R], item: T) -> R:
@@ -168,6 +255,82 @@ def run_many(specs: Sequence[RunSpec], jobs: Optional[int] = None,
         # Completed points are in the cache; rerun the whole list
         # serially and let cache hits absorb the overlap.
         return serially()
+
+
+def run_telemetry(specs: Sequence[RunSpec], jobs: Optional[int] = None,
+                  use_cache: bool = True,
+                  cache_dir: Optional[Union[str, Path]] = None
+                  ) -> list[PointTelemetry]:
+    """Run specs like :func:`run_many`, returning per-point telemetry.
+
+    Every point runs under a fresh tracer and metrics registry (in the
+    worker process under a pool, in this process on the serial path)
+    and ships its serialized span tree and counters back with the
+    result.  Results keep grid order and are bit-identical to an
+    untraced sweep (DESIGN.md §9).  When a metrics registry is active
+    in the parent, every point's counters are merged into it, so
+    ``cache.hits`` / ``runner.rounds`` style totals aggregate across
+    the sweep exactly as they would serially.
+    """
+    workers = min(effective_jobs(jobs), len(specs)) if specs else 1
+    cache_dir_text = str(cache_dir) if cache_dir is not None else None
+
+    def serially() -> list[PointTelemetry]:
+        return [_run_spec_telemetry(spec, cache_dir_text, use_cache)
+                for spec in specs]
+
+    points: list[Optional[PointTelemetry]]
+    if workers <= 1:
+        points = serially()
+    else:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_run_spec_telemetry, spec, cache_dir_text,
+                                use_cache, workers): index
+                    for index, spec in enumerate(specs)
+                }
+                points = [None] * len(specs)
+                for future in as_completed(futures):
+                    points[futures[future]] = future.result()
+        except _POOL_FAILURES:
+            # Same degradation contract as run_many: completed points
+            # are cached, so the serial pass recomputes only the rest
+            # (their traces then come from the parent process).
+            points = serially()
+    registry = _metrics.current_registry()
+    if registry is not None:
+        for point in points:
+            if point is not None and point.metrics:
+                registry.merge(point.metrics)
+    return points  # type: ignore[return-value]
+
+
+def sweep_telemetry(warehouse_grid, processors: int,
+                    machine: MachineConfig = XEON_MP_QUAD,
+                    settings: RunnerSettings = DEFAULT_SETTINGS,
+                    clients_fn=None, use_cache: bool = True,
+                    faults: Optional[FaultPlan] = None,
+                    jobs: Optional[int] = None,
+                    cache_dir: Optional[Union[str, Path]] = None
+                    ) -> list[PointTelemetry]:
+    """A warehouse sweep that returns telemetry for every point.
+
+    The observability companion to :func:`sweep_parallel`: same grid,
+    same (bit-identical) results, but each point also carries its
+    manifest, serialized span tree, and metrics — the inputs
+    :mod:`repro.obs.sweep_report` and
+    :mod:`repro.obs.trace_export` aggregate.
+    """
+    specs = []
+    for warehouses in warehouse_grid:
+        clients = (clients_fn(warehouses, processors)
+                   if clients_fn is not None else None)
+        specs.append(RunSpec(warehouses=warehouses, processors=processors,
+                             clients=clients, machine=machine,
+                             settings=settings, faults=faults))
+    return run_telemetry(specs, jobs=jobs, use_cache=use_cache,
+                         cache_dir=cache_dir)
 
 
 def map_parallel(fn: Callable[[T], R], items: Sequence[T],

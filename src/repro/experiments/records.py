@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.core.cpi_model import CpiBreakdown, CpiSolution
 from repro.hw.trace import MicroarchRates
+from repro.obs import metrics as _metrics
 from repro.odb.system import SystemMetrics
 
 #: Serialization generation of :class:`ConfigResult`.  Bump whenever the
@@ -212,11 +213,25 @@ class ResultCache:
             target_dir.mkdir(parents=True, exist_ok=True)
             os.replace(path, target_dir / path.name)
             self.quarantined += 1
+            if _metrics.ACTIVE:
+                _metrics.inc("cache.quarantined")
         except OSError:  # pragma: no cover - racing deletion is fine
             pass
 
     def load(self, key: str) -> Optional[ConfigResult]:
-        """Cached result for ``key``, or ``None`` (miss / corrupt entry)."""
+        """Cached result for ``key``, or ``None`` (miss / corrupt entry).
+
+        Publishes ``cache.hits`` / ``cache.misses`` /
+        ``cache.quarantined`` counters when the metrics registry is
+        active (one guarded call per load — DESIGN.md §10).
+        """
+        result = self._load(key)
+        if _metrics.ACTIVE:
+            _metrics.inc("cache.hits" if result is not None
+                         else "cache.misses")
+        return result
+
+    def _load(self, key: str) -> Optional[ConfigResult]:
         if not self.enabled:
             return None
         path = self._path(key)
@@ -252,6 +267,8 @@ class ResultCache:
         """Atomically publish a result under ``key``."""
         if not self.enabled:
             return
+        if _metrics.ACTIVE:
+            _metrics.inc("cache.stores")
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         payload = result.to_dict()

@@ -205,6 +205,29 @@ def phase_section(tracer: "Tracer") -> ReportSection:
              "span's root.")
 
 
+def convergence_section(manifest: "RunManifest") -> ReportSection:
+    """The run's fixed-point trajectory from ``manifest.round_deltas``."""
+    rows = []
+    for record in manifest.round_deltas:
+        tps_delta = record.get("tps_delta")
+        cpi_delta = record.get("cpi_delta")
+        rows.append([
+            record.get("round", "-"),
+            f"{record.get('tps', 0.0):.1f}",
+            f"{record.get('cpi', 0.0):.3f}",
+            f"{record.get('user_cpi', 0.0):.3f}",
+            f"{record.get('os_cpi', 0.0):.3f}",
+            f"{tps_delta:+.2f}" if tps_delta is not None else "-",
+            f"{cpi_delta:+.4f}" if cpi_delta is not None else "-",
+        ])
+    return ReportSection(
+        "Fixed-point convergence",
+        ["round", "TPS", "CPI", "user CPI", "OS CPI", "ΔTPS", "ΔCPI"],
+        rows,
+        note="Iterates of the coupled DES ⇄ CPI fixed point; the "
+             "shrinking deltas are what the ConvergenceGuard enforces.")
+
+
 def provenance_section(provenance: "EmonProvenance") -> ReportSection:
     """Counter provenance: metric → formula → events → stall cost."""
     return ReportSection(
@@ -292,6 +315,8 @@ def build_run_report(result: "ConfigResult",
     if manifest is not None:
         report.sections.append(manifest_section(manifest))
     report.sections.append(result_section(result))
+    if manifest is not None and manifest.round_deltas:
+        report.sections.append(convergence_section(manifest))
     if tracer is not None and tracer.roots:
         report.sections.append(phase_section(tracer))
     if provenance is not None:

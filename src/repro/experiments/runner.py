@@ -45,9 +45,10 @@ from repro.experiments.resilience import (
     SweepJournal,
     WatchdogTimeout,
 )
-from repro.faults import FaultPlan
+from repro.faults import FaultPlan, publish_fault_metrics
 from repro.hw.machine import MachineConfig, XEON_MP_QUAD
 from repro.hw.trace import TraceGenerator, TraceProfile
+from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 from repro.obs.manifest import RunManifest, environment_fields
 from repro.odb.system import OdbConfig, OdbSystem
@@ -167,17 +168,28 @@ def run_configuration(warehouses: int, processors: int,
                + (" faulted" if faults is not None else ""))
     started = time.monotonic()
     started_cpu = time.process_time()
+    if _metrics.ACTIVE:
+        _metrics.inc("runner.runs_started")
+        _metrics.emit("run-started", key=key, machine=machine.name,
+                      warehouses=warehouses, clients=clients,
+                      processors=processors, seed=settings.seed,
+                      faulted=faults is not None)
     guard = ConvergenceGuard(context=context)
     user_cpi, os_cpi = 2.5, 2.0
     system_metrics = None
     rates = None
     solution = None
+    # Per-round fixed-point trajectory for the manifest: descriptive
+    # metadata (never a cache-key or golden input), recorded always —
+    # two or three small dicts per run.
+    round_deltas: list[dict] = []
     with _tracing.span("run-configuration") as run_span:
         if run_span is not None:
             run_span.counters.update({
                 "warehouses": warehouses, "clients": clients,
                 "processors": processors, "seed": settings.seed})
         for round_index in range(settings.fixed_point_rounds):
+            round_started = time.monotonic()
             if settings.wall_clock_limit_s is not None and round_index > 0:
                 elapsed = time.monotonic() - started
                 if elapsed > settings.wall_clock_limit_s:
@@ -231,6 +243,24 @@ def run_configuration(warehouses: int, processors: int,
                         span.count("cpi", solution.cpi)
                 user_cpi, os_cpi = guard.admit(solution.user_cpi,
                                                solution.os_cpi)
+            previous = round_deltas[-1] if round_deltas else None
+            record = {
+                "round": round_index,
+                "tps": system_metrics.tps,
+                "cpi": solution.cpi,
+                "user_cpi": solution.user_cpi,
+                "os_cpi": solution.os_cpi,
+                "tps_delta": (system_metrics.tps - previous["tps"]
+                              if previous is not None else None),
+                "cpi_delta": (solution.cpi - previous["cpi"]
+                              if previous is not None else None),
+            }
+            round_deltas.append(record)
+            if _metrics.ACTIVE:
+                _metrics.inc("runner.rounds")
+                _metrics.observe("runner.round_s",
+                                 time.monotonic() - round_started)
+                _metrics.emit("round-completed", key=key, **record)
 
     assert system_metrics is not None and rates is not None \
         and solution is not None
@@ -264,12 +294,22 @@ def run_configuration(warehouses: int, processors: int,
         cpu_time_s=time.process_time() - started_cpu,
         fixed_point_rounds=settings.fixed_point_rounds,
         tracing_enabled=_tracing.tracing_enabled(),
+        round_deltas=round_deltas,
         **environment_fields(),
     )
     _LAST_MANIFEST = manifest
     if use_cache:
         cache.store(key, result)
         cache.store_manifest(key, manifest)
+    if _metrics.ACTIVE:
+        _metrics.inc("runner.runs_finished")
+        _metrics.observe("runner.run_s", manifest.wall_time_s)
+        if faults is not None:
+            publish_fault_metrics(faults, system_metrics)
+        _metrics.emit("run-finished", key=key, tps=result.tps,
+                      cpi=solution.cpi, rounds=settings.fixed_point_rounds,
+                      wall_s=manifest.wall_time_s,
+                      cpu_s=manifest.cpu_time_s)
     return result
 
 

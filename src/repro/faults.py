@@ -321,3 +321,28 @@ def lock_storm_process(engine, lock_table, storm: LockStorm,
         lock_table.release_all(owner)
         if storm.interval_s > 0:
             yield engine.timeout(storm.interval_s)
+
+
+def publish_fault_metrics(plan: FaultPlan, system_metrics) -> None:
+    """Publish one faulted run's injection totals into :mod:`repro.obs.metrics`.
+
+    Called by the runner after a faulted run completes (and only when
+    the metrics registry is active): counts the faulted run, the fault
+    mechanisms the plan armed, and the observed abort/retry volume —
+    totals the simulation already computed, so publishing can never
+    perturb a result.  ``system_metrics`` is the run's
+    :class:`~repro.odb.system.SystemMetrics`.
+    """
+    from repro.obs import metrics as _metrics
+
+    if not _metrics.ACTIVE:
+        return
+    _metrics.inc("faults.runs")
+    _metrics.inc("faults.disk_degradations", len(plan.disks))
+    _metrics.inc("faults.log_stalls", len(plan.log_stalls))
+    _metrics.inc("faults.lock_storms", len(plan.lock_storms))
+    transactions = getattr(system_metrics, "transactions", 0)
+    _metrics.inc("faults.aborts",
+                 system_metrics.aborts_per_txn * transactions)
+    _metrics.inc("faults.retries",
+                 system_metrics.retries_per_txn * transactions)

@@ -1,4 +1,4 @@
-"""Observability: run tracing, manifests, and counter provenance.
+"""Observability: tracing, manifests, provenance, metrics, telemetry.
 
 The paper's contribution is *measurement* — EMON counter sweeps
 decomposed into IPX/CPI components — so the reproduction's own runs
@@ -20,6 +20,19 @@ three axes:
   reported counter (IPX, CPI components, MPI, bus occupancy) back to
   the raw :mod:`repro.emon` events and Table 3 stall-cost entries that
   produced it, mirroring the paper's Tables 2-4 derivations.
+- :mod:`repro.obs.metrics` — a lightweight
+  :class:`~repro.obs.metrics.MetricsRegistry` (counters/gauges/timings)
+  the runner, engine, cache, and fault layers publish into, plus an
+  optional JSONL event stream (``REPRO_METRICS_PATH``) for tailing
+  long sweeps live.  Off by default, same zero-overhead rules as
+  tracing.
+- :mod:`repro.obs.trace_export` — Chrome ``trace_event`` JSON export
+  of span trees (one track per sweep point), loadable in Perfetto or
+  ``chrome://tracing``, with a schema validator for CI.
+- :mod:`repro.obs.sweep_report` — aggregation of a whole sweep's
+  manifests/traces/metrics into one dashboard: per-point cost, cache
+  provenance, fixed-point convergence trajectories, and the
+  slowest-phase flame table.
 
 Typical use::
 
@@ -37,10 +50,31 @@ or via the CLI: ``python -m repro report -w 100 -p 4``.
 from __future__ import annotations
 
 from repro.obs.manifest import MANIFEST_VERSION, RunManifest, git_revision
+from repro.obs.metrics import (
+    MetricsRegistry,
+    current_registry,
+    disable_metrics,
+    enable_metrics,
+    metrics_enabled,
+)
 from repro.obs.provenance import (
     CounterProvenance,
     EmonProvenance,
     emon_provenance,
+)
+from repro.obs.sweep_report import (
+    SweepTelemetry,
+    aggregate_phases,
+    build_sweep_report,
+)
+from repro.obs.trace_export import (
+    TraceTrack,
+    chrome_trace,
+    chrome_trace_json,
+    tracks_from_points,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
 )
 from repro.obs.tracing import (
     Span,
@@ -56,9 +90,24 @@ __all__ = [
     "MANIFEST_VERSION",
     "RunManifest",
     "git_revision",
+    "MetricsRegistry",
+    "current_registry",
+    "disable_metrics",
+    "enable_metrics",
+    "metrics_enabled",
     "CounterProvenance",
     "EmonProvenance",
     "emon_provenance",
+    "SweepTelemetry",
+    "aggregate_phases",
+    "build_sweep_report",
+    "TraceTrack",
+    "chrome_trace",
+    "chrome_trace_json",
+    "tracks_from_points",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "write_chrome_trace",
     "Span",
     "Tracer",
     "current_tracer",

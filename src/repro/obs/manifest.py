@@ -25,8 +25,11 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Optional
 
-#: Serialization generation of :class:`RunManifest`.
-MANIFEST_VERSION = 1
+#: Serialization generation of :class:`RunManifest`.  Version 2 added
+#: the per-round ``round_deltas`` fixed-point trajectory; version-1
+#: manifests on disk are simply unreadable (``load_manifest`` treats
+#: them as absent), which is safe because manifests are descriptive.
+MANIFEST_VERSION = 2
 
 
 @lru_cache(maxsize=None)
@@ -85,6 +88,13 @@ class RunManifest:
     cpu_time_s: float = 0.0
     fixed_point_rounds: int = 0
     tracing_enabled: bool = False
+    #: Fixed-point trajectory: one record per coupled round with the
+    #: round's TPS/CPI iterate and its delta from the previous round
+    #: (``None`` deltas on round 0).  Descriptive like every other
+    #: manifest field — recorded unconditionally (two or three dicts
+    #: per run) so even a cache-hit report can show how the original
+    #: computation converged.
+    round_deltas: list = field(default_factory=list)
     created_unix: float = field(default_factory=time.time)
     manifest_version: int = MANIFEST_VERSION
 

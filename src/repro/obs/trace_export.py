@@ -1,0 +1,192 @@
+"""Chrome ``trace_event`` export of span trees (Perfetto-loadable).
+
+Converts :class:`~repro.obs.tracing.Tracer` span trees into the Trace
+Event Format consumed by ``chrome://tracing`` and
+https://ui.perfetto.dev: a JSON object with a ``traceEvents`` array of
+complete (``"ph": "X"``) events plus process/thread-name metadata
+(``"ph": "M"``) records.
+
+Sweep layout: every (W, C, P) point of a sweep becomes one
+:class:`TraceTrack` and is exported as its own *process* (one ``pid``
+per track, named via ``process_name`` metadata), so Perfetto renders
+the sweep as parallel flamegraph tracks that can be compared side by
+side.  Timestamps within a track are rebased to the track's earliest
+span: ``perf_counter`` readings are not comparable across worker
+processes, so absolute alignment between tracks would be fiction —
+per-track offsets keep every flame shape truthful.
+
+Determinism: exporting the same span trees always produces the same
+bytes — events are ordered by the deterministic depth-first walk, keys
+are sorted, and floats are rounded to fixed precision — which is what
+``tests/obs/test_trace_export.py`` pins.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+from repro.obs.tracing import Span, Tracer
+
+#: ``displayTimeUnit`` advertised to the viewer.
+DISPLAY_TIME_UNIT = "ms"
+
+#: Event phases this exporter writes (complete events + metadata).
+_PHASES = ("X", "M")
+
+
+@dataclass(frozen=True)
+class TraceTrack:
+    """One named track (usually one sweep point) to export.
+
+    ``trace`` accepts a live :class:`Tracer` or a serialized
+    ``Tracer.to_dict`` payload (the form pool workers return).
+    """
+
+    label: str
+    trace: Union[Tracer, dict]
+
+    def tracer(self) -> Tracer:
+        """The track's span tree as a :class:`Tracer`."""
+        if isinstance(self.trace, Tracer):
+            return self.trace
+        return Tracer.from_dict(self.trace)
+
+
+def _track_events(track: TraceTrack, pid: int) -> list[dict]:
+    """The ``traceEvents`` records of one track (metadata + spans)."""
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": track.label},
+    }, {
+        "name": "thread_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": "phases"},
+    }]
+    tracer = track.tracer()
+    origin = min((span.start_wall for _d, span in tracer.walk()),
+                 default=0.0)
+    for _depth, span in tracer.walk():
+        args = {name: round(value, 6)
+                for name, value in sorted(span.counters.items())}
+        args["cpu_ms"] = round(span.cpu_s * 1000.0, 3)
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "pid": pid,
+            "tid": 0,
+            "ts": round((span.start_wall - origin) * 1e6, 3),
+            "dur": round(span.duration_s * 1e6, 3),
+            "args": args,
+        })
+    return events
+
+
+def chrome_trace(tracks: Sequence[TraceTrack]) -> dict:
+    """The full Trace Event Format payload for ``tracks``.
+
+    Tracks keep their input order; track *i* exports under ``pid``
+    ``i + 1`` (pid 0 is reserved by some viewers for the browser
+    process).
+    """
+    events: list[dict] = []
+    for index, track in enumerate(tracks):
+        events.extend(_track_events(track, pid=index + 1))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": DISPLAY_TIME_UNIT,
+        "otherData": {"producer": "repro.obs.trace_export"},
+    }
+
+
+def chrome_trace_json(tracks: Sequence[TraceTrack]) -> str:
+    """Deterministic JSON text of :func:`chrome_trace` (byte-stable)."""
+    return json.dumps(chrome_trace(tracks), sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+def write_chrome_trace(tracks: Sequence[TraceTrack],
+                       path: Union[Path, str]) -> Path:
+    """Write the Chrome trace JSON for ``tracks``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(chrome_trace_json(tracks), encoding="utf-8")
+    return path
+
+
+def validate_chrome_trace(payload: dict) -> list[str]:
+    """Schema problems in a Trace Event Format payload (empty = valid).
+
+    Checks the subset of the format this exporter emits — the JSON
+    object form with a ``traceEvents`` array whose records carry the
+    mandatory ``name``/``ph``/``pid``/``tid`` fields, with ``ts`` and
+    ``dur`` (non-negative numbers) on complete events — which is also
+    what CI asserts about the artifact it uploads.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["top level: expected a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents: expected an array"]
+    if not events:
+        problems.append("traceEvents: empty (no spans were exported)")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: expected an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            problems.append(f"{where}: unsupported phase {phase!r}")
+            continue
+        for field_name, types in (("name", str), ("pid", int),
+                                  ("tid", int)):
+            if not isinstance(event.get(field_name), types):
+                problems.append(f"{where}: bad or missing {field_name!r}")
+        if phase == "X":
+            for field_name in ("ts", "dur"):
+                value = event.get(field_name)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(
+                        f"{where}: complete event needs non-negative "
+                        f"{field_name!r}")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: args must be an object")
+    return problems
+
+
+def validate_chrome_trace_file(path: Union[Path, str]) -> list[str]:
+    """:func:`validate_chrome_trace` applied to a JSON file on disk."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path}: unreadable trace file ({error})"]
+    return validate_chrome_trace(payload)
+
+
+def tracks_from_points(points: Iterable) -> list[TraceTrack]:
+    """Build tracks from sweep telemetry points.
+
+    Accepts the :class:`repro.experiments.parallel.PointTelemetry`
+    shape (``label`` + ``trace`` attributes); points without a trace
+    (e.g. cache hits that never simulated) are skipped.
+    """
+    tracks = []
+    for point in points:
+        if getattr(point, "trace", None):
+            tracks.append(TraceTrack(label=point.label, trace=point.trace))
+    return tracks
+
+
+__all__ = [
+    "TraceTrack",
+    "chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "tracks_from_points",
+    "Span",
+]

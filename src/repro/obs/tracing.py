@@ -71,14 +71,38 @@ class Span:
         self.counters[name] = self.counters.get(name, 0.0) + amount
 
     def to_dict(self) -> dict:
-        """JSON-serializable form of the subtree rooted here."""
+        """JSON-serializable form of the subtree rooted here.
+
+        Carries absolute start clocks alongside the durations so a
+        serialized tree round-trips through :meth:`from_dict` (the
+        worker → parent transfer in parallel sweeps) and so the Chrome
+        exporter (:mod:`repro.obs.trace_export`) can place spans on a
+        timeline, not just size them.
+        """
         return {
             "name": self.name,
+            "start_wall": self.start_wall,
+            "start_cpu": self.start_cpu,
             "duration_s": self.duration_s,
             "cpu_s": self.cpu_s,
             "counters": dict(self.counters),
             "children": [child.to_dict() for child in self.children],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict,
+                  parent: Optional["Span"] = None) -> "Span":
+        """Rebuild a span subtree from its :meth:`to_dict` payload."""
+        node = cls(str(data["name"]), parent=parent)
+        node.start_wall = float(data.get("start_wall", 0.0))
+        node.start_cpu = float(data.get("start_cpu", 0.0))
+        node.end_wall = node.start_wall + float(data.get("duration_s", 0.0))
+        node.end_cpu = node.start_cpu + float(data.get("cpu_s", 0.0))
+        node.counters = {str(k): float(v)
+                         for k, v in data.get("counters", {}).items()}
+        node.children = [cls.from_dict(child, parent=node)
+                         for child in data.get("children", [])]
+        return node
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Span {self.name!r} {self.duration_s:.4f}s "
@@ -155,6 +179,19 @@ class Tracer:
     def to_dict(self) -> dict:
         """JSON-serializable form of the whole trace."""
         return {"spans": [root.to_dict() for root in self.roots]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Tracer":
+        """Rebuild a (closed) tracer from its :meth:`to_dict` payload.
+
+        The result has no open spans — it is a read-only view for
+        reporting and export, which is exactly what the sweep parent
+        needs after a worker ships its serialized span tree back.
+        """
+        tracer = cls()
+        tracer.roots = [Span.from_dict(root)
+                        for root in data.get("spans", [])]
+        return tracer
 
 
 def enable_tracing(tracer: Optional[Tracer] = None) -> Tracer:

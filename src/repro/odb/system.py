@@ -27,6 +27,7 @@ from repro.odb.client import client_process
 from repro.odb.mix import TransactionMix
 from repro.odb.schema import OdbSchema
 from repro.odb.transactions import _SegmentSampler, TransactionProfile
+from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 from repro.osmodel.disks import DiskArray
 from repro.osmodel.kernelcost import KernelCosts
@@ -292,6 +293,14 @@ class OdbSystem:
                            self.db.transactions.count - warmup_txns)
                 span.count("sim_time_s", self.engine.now)
         after = self._snapshot()
+        if _metrics.ACTIVE:
+            # DES totals at the phase boundary (the measurement loop
+            # itself stays untouched): what the engine retired and how
+            # much simulated time it covered.
+            _metrics.inc("engine.des_runs")
+            _metrics.inc("engine.transactions",
+                         after["transactions"] - before["transactions"])
+            _metrics.inc("engine.sim_time_s", self.engine.now)
         return self._metrics(before, after)
 
     def _metrics(self, before: dict[str, float],

@@ -12,6 +12,7 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, Optional
 
+from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 
 #: Priority for events that must run before ordinary events at the same time
@@ -257,9 +258,10 @@ class Engine:
         # The pop/process cycle is inlined from step(): this loop retires
         # every event of a simulation, and the extra method call plus
         # double heap inspection per event were a measurable DES cost.
-        # Tracing takes the separate instrumented loop below so the
-        # disabled path stays exactly as fast (one flag read per call).
-        if _tracing.ACTIVE:
+        # Tracing and metrics take the separate instrumented loop below
+        # so the disabled path stays exactly as fast (two flag reads per
+        # run() call, nothing per event).
+        if _tracing.ACTIVE or _metrics.ACTIVE:
             self._run_traced(until)
             return
         heap = self._heap
@@ -282,7 +284,10 @@ class Engine:
 
         Same semantics as the fast path; additionally records the
         number of events retired and the simulated-time interval
-        covered.  Only entered when :data:`repro.obs.tracing.ACTIVE`.
+        covered — into the open span when tracing is on, and into the
+        metrics registry (``engine.*`` counters) when metrics are on.
+        Only entered when :data:`repro.obs.tracing.ACTIVE` or
+        :data:`repro.obs.metrics.ACTIVE`.
         """
         heap = self._heap
         events = 0
@@ -307,3 +312,7 @@ class Engine:
             if span is not None:
                 span.count("events", events)
                 span.count("sim_time_s", self._now - started_at)
+        if _metrics.ACTIVE:
+            _metrics.inc("engine.runs")
+            _metrics.inc("engine.events", events)
+            _metrics.inc("engine.sim_time_s", self._now - started_at)

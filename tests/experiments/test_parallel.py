@@ -13,6 +13,7 @@ from repro.experiments.parallel import (
     map_parallel,
     run_many,
     sweep_parallel,
+    sweep_telemetry,
 )
 from repro.experiments.resilience import SweepJournal
 from repro.experiments.runner import sweep
@@ -140,6 +141,59 @@ class TestMapParallel:
 
     def test_empty_items(self):
         assert map_parallel(abs, [], jobs=2) == []
+
+
+class TestTelemetrySweep:
+    def test_workers_ship_spans_and_results_stay_identical(
+            self, tmp_path, serial_reference):
+        points = sweep_telemetry(GRID, PROCESSORS, settings=FAST_SETTINGS,
+                                 jobs=2, cache_dir=tmp_path / "cache")
+        # Bit-identity: the traced pool sweep returns exactly the
+        # untraced serial results (DESIGN.md §9).
+        assert canonical(p.result for p in points) == serial_reference
+        # Every computed point carries its worker's span tree, rooted
+        # at the runner's top-level span, plus a manifest and metrics.
+        from repro.obs.tracing import Tracer
+
+        for point, warehouses in zip(points, GRID):
+            assert point.spec.warehouses == warehouses
+            assert not point.cache_hit
+            tracer = Tracer.from_dict(point.trace)
+            names = [span.name for _d, span in tracer.walk()]
+            assert "run-configuration" in names
+            assert point.manifest is not None
+            assert point.manifest.fixed_point_rounds > 0
+            assert point.metrics["counters"]["runner.runs_finished"] == 1.0
+
+    def test_parent_registry_accumulates_worker_metrics(self, tmp_path):
+        from repro.obs import metrics as metrics_module
+
+        registry = metrics_module.enable_metrics()
+        try:
+            sweep_telemetry(GRID, PROCESSORS, settings=FAST_SETTINGS,
+                            jobs=2, cache_dir=tmp_path / "cache")
+        finally:
+            metrics_module.disable_metrics()
+        assert registry.counters["runner.runs_finished"] == len(GRID)
+        assert registry.counters["cache.misses"] == len(GRID)
+
+    def test_cache_hits_skip_tracing_but_keep_manifest(self, tmp_path):
+        sweep_telemetry(GRID, PROCESSORS, settings=FAST_SETTINGS,
+                        jobs=1, cache_dir=tmp_path / "cache")
+        rerun = sweep_telemetry(GRID, PROCESSORS, settings=FAST_SETTINGS,
+                                jobs=1, cache_dir=tmp_path / "cache")
+        for point in rerun:
+            assert point.cache_hit
+            assert point.manifest is not None  # the original run's
+            assert point.trace == {}  # nothing simulated, nothing traced
+
+    def test_serial_and_pool_telemetry_results_match(self, tmp_path):
+        serial = sweep_telemetry(GRID, PROCESSORS, settings=FAST_SETTINGS,
+                                 jobs=1, use_cache=False)
+        pooled = sweep_telemetry(GRID, PROCESSORS, settings=FAST_SETTINGS,
+                                 jobs=2, cache_dir=tmp_path / "cache")
+        assert (canonical(p.result for p in serial)
+                == canonical(p.result for p in pooled))
 
 
 class TestRunSpec:

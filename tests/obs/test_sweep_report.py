@@ -1,0 +1,173 @@
+"""Tests for repro.obs.sweep_report: aggregation and report assembly.
+
+Uses synthetic telemetry points (real RunSpec/RunManifest, fake result
+namespaces, fake-clock traces) so section logic is exercised without
+running the simulator; the CLI-level integration lives in CI's traced
+sweep smoke.
+"""
+
+from types import SimpleNamespace
+
+from repro.experiments.parallel import PointTelemetry, RunSpec
+from repro.experiments.configs import FAST_SETTINGS
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sweep_report import (
+    SweepTelemetry,
+    aggregate_phases,
+    build_sweep_report,
+    convergence_section,
+    phase_flame_section,
+)
+from repro.obs.tracing import Tracer
+
+
+class FakeClock:
+    def __init__(self, step: float):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def fake_trace() -> dict:
+    tracer = Tracer(wall_clock=FakeClock(1.0), cpu_clock=FakeClock(0.5))
+    with tracer.span("run"):
+        with tracer.span("des"):
+            pass
+        with tracer.span("cpi-model"):
+            pass
+    return tracer.to_dict()
+
+
+def fake_result(warehouses: int, processors: int = 1) -> SimpleNamespace:
+    return SimpleNamespace(
+        machine="odb-2003",
+        warehouses=warehouses,
+        clients=8 * warehouses,
+        processors=processors,
+        tps=100.0 + warehouses,
+        cpi=SimpleNamespace(cpi=4.2),
+        rates=SimpleNamespace(l3_misses_per_instr=0.0123),
+        system=SimpleNamespace(cpu_utilization=0.87),
+    )
+
+
+def fake_point(warehouses: int, cache_hit: bool = False,
+               with_trace: bool = True) -> PointTelemetry:
+    spec = RunSpec(warehouses=warehouses, processors=1,
+                   settings=FAST_SETTINGS)
+    manifest = RunManifest(
+        config_key=spec.key(), machine="odb-2003",
+        warehouses=warehouses, clients=spec.resolved_clients,
+        processors=1, seed=1234, settings_fingerprint="fp",
+        git_rev="abcdef0123456789", wall_time_s=1.5, cpu_time_s=1.2,
+        fixed_point_rounds=2,
+        round_deltas=[
+            {"round": 0, "tps": 90.0, "cpi": 4.5,
+             "tps_delta": None, "cpi_delta": None},
+            {"round": 1, "tps": 100.0, "cpi": 4.2,
+             "tps_delta": 10.0, "cpi_delta": -0.3},
+        ])
+    registry = MetricsRegistry()
+    registry.inc("cache.hits" if cache_hit else "cache.misses")
+    registry.inc("runner.rounds", 2)
+    registry.observe("runner.run_s", 1.5)
+    return PointTelemetry(
+        spec=spec,
+        result=fake_result(warehouses),
+        manifest=manifest,
+        trace=fake_trace() if with_trace else {},
+        metrics=registry.to_dict(),
+    )
+
+
+class TestAggregatePhases:
+    def test_folds_across_traces_and_sorts_slowest_first(self):
+        aggregates = aggregate_phases([fake_trace(), fake_trace()])
+        by_name = {agg.name: agg for agg in aggregates}
+        assert set(by_name) == {"run", "des", "cpi-model"}
+        assert by_name["run"].calls == 2
+        assert aggregates[0].name == "run"  # encloses the others
+        # Self time excludes children: run's self < run's wall.
+        assert by_name["run"].self_s < by_name["run"].wall_s
+
+    def test_ties_break_by_name_deterministically(self):
+        first = [a.name for a in aggregate_phases([fake_trace()])]
+        second = [a.name for a in aggregate_phases([fake_trace()])]
+        assert first == second
+
+    def test_empty_and_missing_traces_skipped(self):
+        assert aggregate_phases([{}, None]) == []
+
+
+class TestSweepTelemetry:
+    def test_merged_metrics_sum_across_points(self):
+        telemetry = SweepTelemetry([fake_point(10), fake_point(25),
+                                    fake_point(50, cache_hit=True)])
+        registry = telemetry.merged_metrics()
+        assert registry.counters["cache.misses"] == 2.0
+        assert registry.counters["cache.hits"] == 1.0
+        assert registry.counters["runner.rounds"] == 6.0
+        assert registry.timings["runner.run_s"]["count"] == 3.0
+
+    def test_cache_hit_property_reads_counters(self):
+        assert fake_point(10).cache_hit is False
+        assert fake_point(10, cache_hit=True).cache_hit is True
+
+
+class TestSections:
+    def test_convergence_rows_one_label_per_point(self):
+        section = convergence_section([fake_point(10), fake_point(25)])
+        assert len(section.rows) == 4  # 2 points x 2 rounds
+        labels = [row[0] for row in section.rows]
+        assert labels == ["W=10 P=1", "", "W=25 P=1", ""]
+        assert section.rows[0][4] == "-"  # round 0 has no delta
+        assert section.rows[1][4] == "+10.00"
+
+    def test_phase_flame_self_shares_sum_to_one(self):
+        aggregates = aggregate_phases([fake_trace()])
+        section = phase_flame_section(aggregates)
+        shares = [int(row[6].rstrip("%")) for row in section.rows]
+        assert 95 <= sum(shares) <= 105
+
+
+class TestBuildSweepReport:
+    def test_all_sections_present_with_full_telemetry(self):
+        report = build_sweep_report([fake_point(10), fake_point(25)])
+        titles = [section.title for section in report.sections]
+        assert titles == [
+            "Sweep summary",
+            "Cache provenance",
+            "Fixed-point convergence",
+            "Slowest phases across the sweep",
+            "Metrics totals",
+        ]
+        assert report.title == "Sweep report — odb-2003 P=1 W∈{10,25}"
+
+    def test_markdown_and_html_render(self):
+        report = build_sweep_report([fake_point(10)])
+        markdown = report.to_markdown()
+        assert "Sweep summary" in markdown and "W=10" in markdown
+        assert "<table>" in report.to_html()
+
+    def test_traceless_points_drop_flame_section(self):
+        report = build_sweep_report(
+            [fake_point(10, cache_hit=True, with_trace=False)])
+        titles = [section.title for section in report.sections]
+        assert "Slowest phases across the sweep" not in titles
+        assert "Sweep summary" in titles
+
+    def test_none_points_ignored_and_empty_sweep_titled(self):
+        report = build_sweep_report([None, fake_point(10), None])
+        assert len(report.sections) == 5
+        empty = build_sweep_report([])
+        assert empty.title == "Sweep report — (no points)"
+        assert empty.sections == []
+
+    def test_explicit_title_wins(self):
+        report = build_sweep_report([fake_point(10)], title="My sweep")
+        assert report.title == "My sweep"

@@ -1,0 +1,163 @@
+"""Tests for repro.obs.trace_export: determinism, structure, validation.
+
+The headline contract is byte determinism — exporting the same span
+trees always yields identical JSON — plus Trace Event Format structure
+(complete events with non-negative µs timestamps, one pid per track,
+process-name metadata) that the bundled validator also enforces.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.trace_export import (
+    TraceTrack,
+    chrome_trace,
+    chrome_trace_json,
+    tracks_from_points,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+)
+from repro.obs.tracing import Span, Tracer
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by a fixed step."""
+
+    def __init__(self, step: float = 1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def fake_tracer() -> Tracer:
+    tracer = Tracer(wall_clock=FakeClock(1.0), cpu_clock=FakeClock(0.5))
+    with tracer.span("run") as run:
+        run.count("warehouses", 10)
+        with tracer.span("round-0"):
+            with tracer.span("des"):
+                pass
+        with tracer.span("round-1"):
+            pass
+    return tracer
+
+
+class TestSpanRoundTrip:
+    def test_span_to_from_dict_preserves_tree_and_clocks(self):
+        tracer = fake_tracer()
+        rebuilt = Tracer.from_dict(tracer.to_dict())
+        original = [(d, s.name, s.start_wall, s.duration_s, s.cpu_s,
+                     s.counters) for d, s in tracer.walk()]
+        copied = [(d, s.name, s.start_wall, s.duration_s, s.cpu_s,
+                   s.counters) for d, s in rebuilt.walk()]
+        assert copied == original
+
+    def test_from_dict_links_parents(self):
+        rebuilt = Tracer.from_dict(fake_tracer().to_dict())
+        child = rebuilt.find("des")
+        assert child.parent.name == "round-0"
+
+    def test_from_dict_tolerates_missing_optional_fields(self):
+        span = Span.from_dict({"name": "bare"})
+        assert span.duration_s == 0.0
+        assert span.counters == {} and span.children == []
+
+
+class TestExportStructure:
+    def test_one_pid_per_track_with_name_metadata(self):
+        payload = chrome_trace([
+            TraceTrack("W=10 P=1", fake_tracer()),
+            TraceTrack("W=25 P=1", fake_tracer().to_dict()),
+        ])
+        events = payload["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"
+                    and e["name"] == "process_name"]
+        assert [(m["pid"], m["args"]["name"]) for m in metadata] == [
+            (1, "W=10 P=1"), (2, "W=25 P=1")]
+        pids = {e["pid"] for e in events if e["ph"] == "X"}
+        assert pids == {1, 2}
+
+    def test_complete_events_carry_microsecond_clocks(self):
+        payload = chrome_trace([TraceTrack("t", fake_tracer())])
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        names = [e["name"] for e in spans]
+        assert names == ["run", "round-0", "des", "round-1"]
+        run = spans[0]
+        # FakeClock: run starts at wall 0 (track origin), spans 7 reads.
+        assert run["ts"] == 0.0
+        assert run["dur"] == pytest.approx(7 * 1e6)
+        assert run["args"]["warehouses"] == 10
+        assert "cpu_ms" in run["args"]
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in spans)
+
+    def test_timestamps_rebased_per_track(self):
+        tracer = Tracer(wall_clock=FakeClock(1.0), cpu_clock=FakeClock(0.5))
+        tracer._wall.now = 1000.0  # a late perf_counter base
+        with tracer.span("late"):
+            pass
+        payload = chrome_trace([TraceTrack("t", tracer)])
+        late = [e for e in payload["traceEvents"] if e["ph"] == "X"][0]
+        assert late["ts"] == 0.0
+
+
+class TestDeterminism:
+    def test_same_trees_export_byte_identical_json(self):
+        tracks = [TraceTrack("a", fake_tracer().to_dict())]
+        assert chrome_trace_json(tracks) == chrome_trace_json(tracks)
+        # And through a fresh deserialization round-trip.
+        reloaded = [TraceTrack("a", Tracer.from_dict(tracks[0].trace))]
+        assert chrome_trace_json(reloaded) == chrome_trace_json(tracks)
+
+    def test_write_then_validate_file(self, tmp_path):
+        path = write_chrome_trace([TraceTrack("a", fake_tracer())],
+                                  tmp_path / "t.trace.json")
+        assert validate_chrome_trace_file(path) == []
+        written = json.loads(path.read_text())
+        assert written["displayTimeUnit"] == "ms"
+
+
+class TestValidator:
+    def test_valid_payload_passes(self):
+        assert validate_chrome_trace(
+            chrome_trace([TraceTrack("a", fake_tracer())])) == []
+
+    def test_top_level_must_be_object_with_events(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({}) != []
+        assert validate_chrome_trace({"traceEvents": []}) != []
+
+    def test_bad_phase_and_missing_fields_flagged(self):
+        problems = validate_chrome_trace({"traceEvents": [
+            {"name": "x", "ph": "B", "pid": 1, "tid": 0},
+            {"ph": "X", "pid": 1, "tid": 0, "ts": 0, "dur": 1},
+            {"name": "x", "ph": "X", "pid": 1, "tid": 0,
+             "ts": -5, "dur": 1},
+        ]})
+        assert len(problems) == 3
+
+    def test_unreadable_file_reported(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert validate_chrome_trace_file(missing) != []
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert validate_chrome_trace_file(bad) != []
+
+
+class TestTracksFromPoints:
+    def test_skips_points_without_traces(self):
+        class Point:
+            def __init__(self, label, trace):
+                self.label = label
+                self.trace = trace
+
+        tracks = tracks_from_points([
+            Point("traced", fake_tracer().to_dict()),
+            Point("cache-hit", None),
+            Point("empty", {}),
+        ])
+        assert [t.label for t in tracks] == ["traced"]

@@ -9,7 +9,10 @@ new packages), run by the CI ``docs`` job:
   checks via ``ast``, no imports executed);
 - every relative Markdown link in the repository docs must point at a
   file or directory that exists (anchors and external URLs are
-  skipped).
+  skipped);
+- every ``repro`` CLI subcommand registered in ``src/repro/cli.py``
+  must be mentioned in the README (as ``repro <name>``), so new verbs
+  cannot land undocumented.
 
 Exit status is the number of problems found (0 = clean), each printed
 as ``path:line: message``.
@@ -113,15 +116,52 @@ def check_links(repo: Path) -> list[str]:
     return problems
 
 
+def cli_subcommands(cli_path: Path) -> list[tuple[str, int]]:
+    """(name, line) of every subcommand registered via ``add_parser``.
+
+    Parsed statically with ``ast`` — nothing is imported — by matching
+    ``<subparsers>.add_parser("name", ...)`` calls with a literal first
+    argument, which is how every verb in ``cli.py`` is declared.
+    """
+    tree = ast.parse(cli_path.read_text(encoding="utf-8"))
+    names = []
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_parser"
+                and node.args and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            names.append((node.args[0].value, node.lineno))
+    return names
+
+
+def check_cli_docs(repo: Path) -> list[str]:
+    """Undocumented-subcommand findings: CLI verbs absent from README."""
+    cli_path = repo / "src" / "repro" / "cli.py"
+    readme = repo / "README.md"
+    if not cli_path.exists() or not readme.exists():  # pragma: no cover
+        return []
+    text = readme.read_text(encoding="utf-8")
+    problems = []
+    for name, line in cli_subcommands(cli_path):
+        if not re.search(rf"repro {re.escape(name)}\b", text):
+            problems.append(
+                f"src/repro/cli.py:{line}: subcommand {name!r} is not "
+                f"documented in README.md (no 'repro {name}' mention)")
+    return problems
+
+
 def main() -> int:
-    """Run both checks; returns the number of problems found."""
-    problems = check_docstrings(SOURCE_ROOT) + check_links(REPO)
+    """Run all checks; returns the number of problems found."""
+    problems = (check_docstrings(SOURCE_ROOT) + check_links(REPO)
+                + check_cli_docs(REPO))
     for problem in problems:
         print(problem)
     if problems:
         print(f"{len(problems)} documentation problem(s)")
     else:
-        print("docs lint clean: docstrings present, links resolve")
+        print("docs lint clean: docstrings present, links resolve, "
+              "CLI verbs documented")
     return min(len(problems), 100)
 
 
