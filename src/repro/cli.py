@@ -23,6 +23,12 @@ storms, transient aborts) into ``run``, ``sweep``, and ``report``.
 ``--jobs N`` fans independent configuration runs across ``N`` worker
 processes (default: one per CPU; results are bit-identical to serial,
 see DESIGN.md §8); ``REPRO_SERIAL=1`` forces serial execution.
+``--shards N``, ``--retries N``, and ``--point-timeout S`` (on
+``sweep`` and ``report --sweep``) opt into the supervised sharded
+executor (:mod:`repro.experiments.supervisor`): per-point retry with
+deterministic backoff, pool self-healing on worker death, and shard
+failover, with the degradation timeline surfaced in sweep reports
+(DESIGN.md §11).
 
 ``report`` runs one configuration with tracing enabled
 (:mod:`repro.obs`) and writes a Markdown (optionally HTML) dashboard —
@@ -107,6 +113,48 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
                              "forces serial)")
 
 
+def _add_supervision(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="supervised sharded execution across N worker "
+                             "pools (retry/backoff, pool self-healing, "
+                             "shard failover; see DESIGN.md §11)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="per-point retry budget under supervision "
+                             "(default 3; implies the supervised executor)")
+    parser.add_argument("--point-timeout", type=float, default=None,
+                        metavar="S",
+                        help="wall-clock budget per point attempt in "
+                             "seconds (stragglers are killed and retried; "
+                             "implies the supervised executor)")
+
+
+def _supervisor(args):
+    """A :class:`ShardedSupervisor` from CLI flags, or None (plain path).
+
+    ``--shards``/``--retries``/``--point-timeout`` all opt into the
+    supervised executor; shards share the default result cache, and the
+    worker budget (``--jobs``) is split evenly across them.
+    """
+    shards = getattr(args, "shards", None)
+    retries = getattr(args, "retries", None)
+    timeout = getattr(args, "point_timeout", None)
+    if shards is None and retries is None and timeout is None:
+        return None
+    from repro.experiments.supervisor import (
+        ShardedSupervisor,
+        SupervisorPolicy,
+        default_shards,
+    )
+
+    if shards is not None and shards < 1:
+        raise SystemExit("--shards needs a positive shard count")
+    policy = SupervisorPolicy(
+        max_retries=retries if retries is not None else 3,
+        point_timeout_s=timeout)
+    return ShardedSupervisor(
+        shards=default_shards(shards or 1, jobs=args.jobs), policy=policy)
+
+
 def cmd_run(args) -> int:
     """``repro run``: one configuration, rendered as a small report."""
     faults = _faults(args)
@@ -182,9 +230,16 @@ def cmd_sweep(args) -> int:
     if journal is not None:
         done = len(journal.load())
         print(f"journal: {journal.path} ({done} point(s) already complete)")
+    supervisor = _supervisor(args)
     records = sweep_parallel(grid, args.processors, machine=_machine(args),
                              settings=_settings(args), faults=faults,
-                             journal=journal, jobs=args.jobs)
+                             journal=journal, jobs=args.jobs,
+                             supervisor=supervisor)
+    if supervisor is not None and supervisor.events:
+        degraded = [e for e in supervisor.events
+                    if e["event"] != "point-straggling"]
+        print(f"supervision: {len(degraded)} degradation event(s) "
+              f"({', '.join(sorted({e['event'] for e in degraded}))})")
     xs = [r.warehouses for r in records]
     series = {
         "TPS": [r.tps for r in records],
@@ -328,10 +383,12 @@ def _report_sweep(args) -> int:
 
     grid = _parse_grid(args.grid)
     machine = _machine(args)
+    supervisor = _supervisor(args)
     points = sweep_telemetry(grid, args.processors, machine=machine,
                              settings=_settings(args), faults=_faults(args),
-                             jobs=args.jobs)
-    report = build_sweep_report(points)
+                             jobs=args.jobs, supervisor=supervisor)
+    report = build_sweep_report(
+        points, events=supervisor.events if supervisor is not None else None)
     out = Path(args.out) if args.out else _reports_dir()
     stem = (f"sweep_{_slug(machine.name)}_p{args.processors}"
             f"_w{'-'.join(str(w) for w in grid)}")
@@ -437,6 +494,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(sweep_parser)
     _add_faults(sweep_parser)
     _add_jobs(sweep_parser)
+    _add_supervision(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
     pivot_parser = commands.add_parser("pivot",
@@ -484,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(report_parser)
     _add_faults(report_parser)
     _add_jobs(report_parser)
+    _add_supervision(report_parser)
     report_parser.set_defaults(func=cmd_report)
 
     trace_parser = commands.add_parser(

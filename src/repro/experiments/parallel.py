@@ -132,10 +132,29 @@ class PointTelemetry:
         return self.metrics.get("counters", {}).get("cache.hits", 0) > 0
 
 
+#: ``REPRO_SERIAL`` spellings that force the serial path.  Anything
+#: else — including garbage like ``REPRO_SERIAL=banana`` — is treated
+#: as "not set" rather than silently flipping execution policy.
+_SERIAL_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def serial_forced() -> bool:
+    """True when the environment forces serial execution.
+
+    ``REPRO_SERIAL`` accepts the usual truthy spellings
+    (``1``/``true``/``yes``/``on``, case-insensitive, whitespace
+    ignored); unrecognized values do not force serial.
+    """
+    value = os.environ.get(SERIAL_ENV)
+    if value is None:
+        return False
+    return value.strip().lower() in _SERIAL_TRUTHY
+
+
 def effective_jobs(jobs: Optional[int] = None) -> int:
     """Worker count after policy: ``REPRO_SERIAL=1`` wins, ``None``
     means one worker per CPU, and the result is always >= 1."""
-    if os.environ.get(SERIAL_ENV) == "1":
+    if serial_forced():
         return 1
     if jobs is None:
         jobs = os.cpu_count() or 1
@@ -223,18 +242,24 @@ def run_many(specs: Sequence[RunSpec], jobs: Optional[int] = None,
     """
     workers = min(effective_jobs(jobs), len(specs)) if specs else 1
     cache_dir_text = str(cache_dir) if cache_dir is not None else None
+    results: list[Optional[ConfigResult]] = [None] * len(specs)
 
-    def serially() -> list[ConfigResult]:
-        results = []
-        for spec in specs:
+    def run_remaining() -> None:
+        # Serial (fallback) pass: points that already completed under
+        # the pool are kept, not recomputed and not re-journaled — only
+        # the holes are filled (the cache then absorbs any point whose
+        # worker finished storing but whose future never resolved).
+        for index, spec in enumerate(specs):
+            if results[index] is not None:
+                continue
             result = _run_spec(spec, cache_dir_text, use_cache)
+            results[index] = result
             if on_result is not None:
                 on_result(spec, result)
-            results.append(result)
-        return results
 
     if workers <= 1:
-        return serially()
+        run_remaining()
+        return results  # type: ignore[return-value]
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
@@ -242,19 +267,19 @@ def run_many(specs: Sequence[RunSpec], jobs: Optional[int] = None,
                             workers): index
                 for index, spec in enumerate(specs)
             }
-            results: list[Optional[ConfigResult]] = [None] * len(specs)
             for future in as_completed(futures):
                 index = futures[future]
                 result = future.result()
                 results[index] = result
                 if on_result is not None:
                     on_result(specs[index], result)
-            return results  # type: ignore[return-value]
     except _POOL_FAILURES:
         # A broken pool can leave some futures finished and some dead.
-        # Completed points are in the cache; rerun the whole list
-        # serially and let cache hits absorb the overlap.
-        return serially()
+        # Keep what finished; compute only the incomplete points.
+        if _metrics.ACTIVE:
+            _metrics.inc("parallel.pool_fallbacks")
+        run_remaining()
+    return results  # type: ignore[return-value]
 
 
 def run_telemetry(specs: Sequence[RunSpec], jobs: Optional[int] = None,
@@ -274,14 +299,16 @@ def run_telemetry(specs: Sequence[RunSpec], jobs: Optional[int] = None,
     """
     workers = min(effective_jobs(jobs), len(specs)) if specs else 1
     cache_dir_text = str(cache_dir) if cache_dir is not None else None
+    points: list[Optional[PointTelemetry]] = [None] * len(specs)
 
-    def serially() -> list[PointTelemetry]:
-        return [_run_spec_telemetry(spec, cache_dir_text, use_cache)
-                for spec in specs]
+    def run_remaining() -> None:
+        for index, spec in enumerate(specs):
+            if points[index] is None:
+                points[index] = _run_spec_telemetry(spec, cache_dir_text,
+                                                    use_cache)
 
-    points: list[Optional[PointTelemetry]]
     if workers <= 1:
-        points = serially()
+        run_remaining()
     else:
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -290,14 +317,16 @@ def run_telemetry(specs: Sequence[RunSpec], jobs: Optional[int] = None,
                                 use_cache, workers): index
                     for index, spec in enumerate(specs)
                 }
-                points = [None] * len(specs)
                 for future in as_completed(futures):
                     points[futures[future]] = future.result()
         except _POOL_FAILURES:
-            # Same degradation contract as run_many: completed points
-            # are cached, so the serial pass recomputes only the rest
-            # (their traces then come from the parent process).
-            points = serially()
+            # Same degradation contract as run_many: points that
+            # completed under the pool are kept, and the serial pass
+            # computes only the rest (their traces then come from the
+            # parent process; cache hits absorb any overlap).
+            if _metrics.ACTIVE:
+                _metrics.inc("parallel.pool_fallbacks")
+            run_remaining()
     registry = _metrics.current_registry()
     if registry is not None:
         for point in points:
@@ -312,7 +341,8 @@ def sweep_telemetry(warehouse_grid, processors: int,
                     clients_fn=None, use_cache: bool = True,
                     faults: Optional[FaultPlan] = None,
                     jobs: Optional[int] = None,
-                    cache_dir: Optional[Union[str, Path]] = None
+                    cache_dir: Optional[Union[str, Path]] = None,
+                    shards=None, policy=None, chaos=None, supervisor=None
                     ) -> list[PointTelemetry]:
     """A warehouse sweep that returns telemetry for every point.
 
@@ -320,7 +350,10 @@ def sweep_telemetry(warehouse_grid, processors: int,
     same (bit-identical) results, but each point also carries its
     manifest, serialized span tree, and metrics — the inputs
     :mod:`repro.obs.sweep_report` and
-    :mod:`repro.obs.trace_export` aggregate.
+    :mod:`repro.obs.trace_export` aggregate.  Passing any of
+    ``shards``/``policy``/``chaos``/``supervisor`` routes execution
+    through :mod:`repro.experiments.supervisor` (fault-tolerant sharded
+    dispatch) instead of the plain pool.
     """
     specs = []
     for warehouses in warehouse_grid:
@@ -329,6 +362,13 @@ def sweep_telemetry(warehouse_grid, processors: int,
         specs.append(RunSpec(warehouses=warehouses, processors=processors,
                              clients=clients, machine=machine,
                              settings=settings, faults=faults))
+    if any(option is not None for option in (shards, policy, chaos,
+                                             supervisor)):
+        from repro.experiments.supervisor import supervised_run_telemetry
+
+        return supervised_run_telemetry(
+            specs, shards=shards, policy=policy, chaos=chaos, jobs=jobs,
+            use_cache=use_cache, cache_dir=cache_dir, supervisor=supervisor)
     return run_telemetry(specs, jobs=jobs, use_cache=use_cache,
                          cache_dir=cache_dir)
 
@@ -366,7 +406,8 @@ def sweep_parallel(warehouse_grid, processors: int,
                    faults: Optional[FaultPlan] = None,
                    journal: Optional[Union[SweepJournal, str]] = None,
                    jobs: Optional[int] = None,
-                   cache_dir: Optional[Union[str, Path]] = None
+                   cache_dir: Optional[Union[str, Path]] = None,
+                   shards=None, policy=None, chaos=None, supervisor=None
                    ) -> list[ConfigResult]:
     """Parallel warehouse sweep, bit-identical to :func:`runner.sweep`.
 
@@ -374,8 +415,20 @@ def sweep_parallel(warehouse_grid, processors: int,
     rest fan out via :func:`run_many` and are journaled from the parent
     as they complete.  With one effective worker this delegates to the
     serial :func:`repro.experiments.runner.sweep` outright (same code
-    path the tests golden-pin).
+    path the tests golden-pin).  Passing any of
+    ``shards``/``policy``/``chaos``/``supervisor`` routes the sweep
+    through :func:`repro.experiments.supervisor.supervised_sweep`
+    (fault-tolerant sharded dispatch, same journal merge point).
     """
+    if any(option is not None for option in (shards, policy, chaos,
+                                             supervisor)):
+        from repro.experiments.supervisor import supervised_sweep
+
+        return supervised_sweep(
+            warehouse_grid, processors, machine=machine, settings=settings,
+            clients_fn=clients_fn, use_cache=use_cache, faults=faults,
+            journal=journal, jobs=jobs, cache_dir=cache_dir, shards=shards,
+            policy=policy, chaos=chaos, supervisor=supervisor)
     if journal is not None and not isinstance(journal, SweepJournal):
         journal = SweepJournal(journal)
 

@@ -206,8 +206,14 @@ class ResultCache:
             key += f"-f{fault_fingerprint}"
         return key
 
-    def _quarantine(self, path: Path) -> None:
-        """Move a corrupt entry aside instead of regenerating over it."""
+    def _quarantine(self, path: Path, key: Optional[str] = None) -> None:
+        """Move a corrupt entry aside instead of regenerating over it.
+
+        Counts into ``cache.quarantined`` and appends a
+        ``cache-quarantine`` record naming the offending key to the
+        metrics JSONL stream, so corruption surfaces in sweep reports
+        instead of silently vanishing into a recompute.
+        """
         target_dir = self.directory / self.QUARANTINE_DIR
         try:
             target_dir.mkdir(parents=True, exist_ok=True)
@@ -215,6 +221,9 @@ class ResultCache:
             self.quarantined += 1
             if _metrics.ACTIVE:
                 _metrics.inc("cache.quarantined")
+                _metrics.emit("cache-quarantine",
+                              key=key if key is not None else path.stem,
+                              file=str(target_dir / path.name))
         except OSError:  # pragma: no cover - racing deletion is fine
             pass
 
@@ -241,10 +250,10 @@ class ResultCache:
             with open(path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
         except (json.JSONDecodeError, OSError):
-            self._quarantine(path)
+            self._quarantine(path, key)
             return None
         if not isinstance(data, dict):
-            self._quarantine(path)
+            self._quarantine(path, key)
             return None
         if data.get("schema_version") != SCHEMA_VERSION or "result" not in data:
             # A past schema generation (or the pre-envelope format):
@@ -255,12 +264,12 @@ class ResultCache:
                 pass
             return None
         if payload_checksum(data["result"]) != data.get("checksum"):
-            self._quarantine(path)
+            self._quarantine(path, key)
             return None
         try:
             return ConfigResult.from_dict(data["result"])
         except (SchemaMismatchError, KeyError, TypeError):
-            self._quarantine(path)
+            self._quarantine(path, key)
             return None
 
     def store(self, key: str, result: ConfigResult) -> None:

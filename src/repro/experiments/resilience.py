@@ -37,6 +37,7 @@ from repro.experiments.records import (
     SchemaMismatchError,
     payload_checksum,
 )
+from repro.obs import metrics as _metrics
 
 
 class ConvergenceError(RuntimeError):
@@ -156,22 +157,50 @@ class SweepJournal:
     survives a kill at any instant; ``load`` skips any line that is
     truncated, corrupt, checksum-inconsistent, or from another schema
     generation, which makes resumption safe after arbitrary crashes.
+
+    **Torn-line recovery:** a kill mid-append leaves a partial final
+    line; if the journal were then appended to again, the next record
+    would fuse onto the torn tail and *both* would be lost.  ``load``
+    therefore repairs the file on reopen: every undecodable line is
+    moved into the ``<journal>.quarantine`` sidecar (bytes preserved
+    for inspection) and the journal is atomically compacted to only its
+    valid lines, so subsequent ``record`` appends land on a clean tail.
+    Quarantine events are counted (``journal.quarantined``) and
+    streamed through :mod:`repro.obs.metrics` when a registry is
+    active.
     """
 
     def __init__(self, path: Path | str):
         self.path = Path(path)
         #: Lines skipped by the last ``load`` (corrupt/truncated/stale).
         self.skipped = 0
+        #: Lines moved to the quarantine sidecar over this journal's
+        #: lifetime.
+        self.quarantined = 0
+
+    @property
+    def quarantine_path(self) -> Path:
+        """The sidecar file bad journal lines are moved into."""
+        return self.path.with_name(self.path.name + ".quarantine")
 
     def load(self) -> dict[str, ConfigResult]:
-        """Completed points by cache key; tolerant of a torn last line."""
+        """Completed points by cache key; repairs a torn/corrupt tail.
+
+        Any line that cannot be trusted (truncated JSON, checksum
+        mismatch, stale schema) is quarantined into
+        :attr:`quarantine_path` and the journal is rewritten with only
+        the valid lines, so the file is always safe to append to after
+        a ``load``.
+        """
         self.skipped = 0
         completed: dict[str, ConfigResult] = {}
         if not self.path.exists():
             return completed
+        valid_lines: list[str] = []
+        bad_lines: list[tuple[int, str]] = []
         with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
+            for lineno, raw in enumerate(handle, 1):
+                line = raw.strip()
                 if not line:
                     continue
                 try:
@@ -186,7 +215,41 @@ class SweepJournal:
                 except (json.JSONDecodeError, SchemaMismatchError, ValueError,
                         KeyError, TypeError):
                     self.skipped += 1
+                    bad_lines.append((lineno, line))
+                    continue
+                valid_lines.append(line)
+        if bad_lines:
+            self._quarantine_lines(bad_lines, valid_lines)
         return completed
+
+    def _quarantine_lines(self, bad_lines: list[tuple[int, str]],
+                          valid_lines: list[str]) -> None:
+        """Move bad lines to the sidecar and compact the journal.
+
+        Best-effort on a read-only filesystem (the in-memory load
+        already excluded the bad lines), but when it succeeds the
+        journal ends on a clean newline so appends cannot fuse records.
+        """
+        self.quarantined += len(bad_lines)
+        try:
+            with open(self.quarantine_path, "a",
+                      encoding="utf-8") as handle:
+                for _lineno, line in bad_lines:
+                    handle.write(line + "\n")
+            tmp = self.path.with_name(f".{self.path.name}.{os.getpid()}.tmp")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for line in valid_lines:
+                    handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except OSError:  # pragma: no cover - read-only journal dir
+            pass
+        if _metrics.ACTIVE:
+            _metrics.inc("journal.quarantined", len(bad_lines))
+            for lineno, _line in bad_lines:
+                _metrics.emit("journal-quarantine", path=str(self.path),
+                              line=lineno)
 
     def record(self, key: str, result: ConfigResult) -> None:
         """Durably append one completed point."""

@@ -204,6 +204,36 @@ def phase_flame_section(aggregates: Sequence[PhaseAggregate]
              "net of child spans, so the shares sum to ~100%.")
 
 
+def degradation_section(events: Sequence[dict]) -> "ReportSection":
+    """The supervisor's degradation timeline: retries, failovers, heals.
+
+    ``events`` is :attr:`repro.experiments.supervisor.ShardedSupervisor.events`
+    — ordered dicts with ``seq``/``event`` plus event-specific fields.
+    An empty timeline renders as an empty-row section (dropped by
+    :func:`build_sweep_report`).
+    """
+    from repro.experiments.report import ReportSection
+
+    rows = []
+    for event in events:
+        detail = ", ".join(
+            f"{name}={value}" for name, value in sorted(event.items())
+            if name not in ("seq", "event", "key", "shard"))
+        rows.append([
+            event.get("seq", "-"),
+            event.get("event", "-"),
+            event.get("key", event.get("source", "-")),
+            event.get("shard", event.get("target", "-")),
+            detail or "-",
+        ])
+    return ReportSection(
+        "Degradation timeline",
+        ["#", "event", "point", "shard", "detail"], rows,
+        note="Supervisor events in occurrence order: retries, straggler "
+             "flags, timeouts, pool rebuilds, shard failovers.  An "
+             "absent section means the sweep ran clean.")
+
+
 def metrics_section(registry: MetricsRegistry) -> "ReportSection":
     """Merged counters/gauges/timings of the sweep."""
     from repro.experiments.report import ReportSection
@@ -225,13 +255,17 @@ def metrics_section(registry: MetricsRegistry) -> "ReportSection":
 
 
 def build_sweep_report(points: Sequence,
-                       title: Optional[str] = None) -> "RunReport":
+                       title: Optional[str] = None,
+                       events: Optional[Sequence[dict]] = None
+                       ) -> "RunReport":
     """Assemble the sweep dashboard from telemetry points.
 
     ``points`` is what :func:`repro.experiments.parallel.sweep_telemetry`
     returns (``None`` entries from skipped points are ignored).
-    Sections whose inputs are absent everywhere (no traces, no
-    manifests, no metrics) are dropped rather than rendered empty.
+    ``events``, when a supervised sweep provides them, render as the
+    degradation timeline.  Sections whose inputs are absent everywhere
+    (no traces, no manifests, no metrics, no events) are dropped rather
+    than rendered empty.
     """
     from repro.experiments.report import RunReport
 
@@ -255,6 +289,8 @@ def build_sweep_report(points: Sequence,
     aggregates = telemetry.phase_aggregates()
     if aggregates:
         report.sections.append(phase_flame_section(aggregates))
+    if events:
+        report.sections.append(degradation_section(events))
     registry = telemetry.merged_metrics()
     if registry.counters or registry.gauges or registry.timings:
         report.sections.append(metrics_section(registry))
@@ -269,6 +305,7 @@ __all__ = [
     "summary_section",
     "cache_section",
     "convergence_section",
+    "degradation_section",
     "phase_flame_section",
     "metrics_section",
 ]

@@ -209,3 +209,139 @@ class TestRunSpec:
         spec = RunSpec(warehouses=10, processors=1, clients=7,
                        settings=FAST_SETTINGS)
         assert spec.resolved_clients == 7
+
+
+class TestSerialEnvParsing:
+    """REPRO_SERIAL edge cases: truthy spellings, garbage, emptiness."""
+
+    @pytest.mark.parametrize("value", ["1", "true", "TRUE", " yes ", "On"])
+    def test_truthy_spellings_force_serial(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SERIAL", value)
+        assert parallel_module.serial_forced()
+        assert effective_jobs(8) == 1
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "banana", "2"])
+    def test_garbage_does_not_flip_policy(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SERIAL", value)
+        assert not parallel_module.serial_forced()
+        assert effective_jobs(8) == 8
+
+    def test_unset_is_not_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERIAL", raising=False)
+        assert not parallel_module.serial_forced()
+
+
+class TestPartialFallback:
+    """A mid-sweep pool break must keep completed points, not recompute."""
+
+    @staticmethod
+    def _half_broken_pool(good_key, good_payload, error):
+        """A fake executor: the ``good_key`` spec's future completes
+        with ``good_payload`` immediately; every other future breaks
+        with ``error`` shortly *after* (so ``as_completed`` observes the
+        completed point before the pool failure, deterministically)."""
+        import threading
+        from concurrent.futures import Future
+
+        class HalfBrokenPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, spec, *args, **kwargs):
+                future = Future()
+                if spec.key() == good_key:
+                    future.set_result(good_payload)
+                else:
+                    timer = threading.Timer(
+                        0.2, lambda: future.set_exception(error))
+                    timer.daemon = True
+                    timer.start()
+                return future
+
+        return HalfBrokenPool
+
+    def test_run_many_fallback_skips_completed_points(self, monkeypatch,
+                                                      tmp_path,
+                                                      serial_reference):
+        from concurrent.futures.process import BrokenProcessPool
+
+        specs = [RunSpec(warehouses=w, processors=PROCESSORS,
+                         settings=FAST_SETTINGS) for w in GRID]
+        first_result = parallel_module._run_spec(
+            specs[0], str(tmp_path / "warm"), True)
+        monkeypatch.setattr(
+            parallel_module, "ProcessPoolExecutor",
+            self._half_broken_pool(specs[0].key(), first_result,
+                                   BrokenProcessPool("worker died")))
+        serial_runs = []
+        original = parallel_module._run_spec
+
+        def counting_run_spec(spec, *args, **kwargs):
+            serial_runs.append(spec.key())
+            return original(spec, *args, **kwargs)
+
+        monkeypatch.setattr(parallel_module, "_run_spec", counting_run_spec)
+        journaled = []
+        results = run_many(specs, jobs=2, cache_dir=tmp_path / "cache",
+                           on_result=lambda spec, result:
+                           journaled.append(spec.key()))
+        assert canonical(results) == serial_reference
+        # Only the broken point was recomputed in the fallback pass ...
+        assert serial_runs == [specs[1].key()]
+        # ... and each point was journaled exactly once overall.
+        assert sorted(journaled) == sorted(spec.key() for spec in specs)
+
+    def test_run_telemetry_fallback_keeps_completed_points(self, monkeypatch,
+                                                           tmp_path):
+        from repro.experiments.parallel import run_telemetry
+
+        specs = [RunSpec(warehouses=w, processors=PROCESSORS,
+                         settings=FAST_SETTINGS) for w in GRID]
+        first_point = parallel_module._run_spec_telemetry(
+            specs[0], str(tmp_path / "warm"), True)
+        monkeypatch.setattr(
+            parallel_module, "ProcessPoolExecutor",
+            self._half_broken_pool(specs[0].key(), first_point,
+                                   OSError("forking forbidden")))
+        serial_runs = []
+        original = parallel_module._run_spec_telemetry
+
+        def counting(spec, *args, **kwargs):
+            serial_runs.append(spec.key())
+            return original(spec, *args, **kwargs)
+
+        monkeypatch.setattr(parallel_module, "_run_spec_telemetry", counting)
+        points = run_telemetry(specs, jobs=2, cache_dir=tmp_path / "cache")
+        assert [p.spec.warehouses for p in points] == list(GRID)
+        assert serial_runs == [specs[1].key()]
+
+    def test_fallback_is_counted_when_metrics_active(self, monkeypatch,
+                                                     tmp_path):
+        from repro.obs import metrics as metrics_module
+
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                raise OSError("forking forbidden")
+
+            def __exit__(self, *exc):
+                return False
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor",
+                            ExplodingPool)
+        specs = [RunSpec(warehouses=w, processors=PROCESSORS,
+                         settings=FAST_SETTINGS) for w in GRID]
+        registry = metrics_module.enable_metrics()
+        try:
+            run_many(specs, jobs=2, cache_dir=tmp_path / "cache")
+        finally:
+            metrics_module.disable_metrics()
+        assert registry.counters["parallel.pool_fallbacks"] == 1.0

@@ -241,3 +241,112 @@ class TestCrashSafeCache:
         missing = {k: v for k, v in data.items() if k != "schema_version"}
         with pytest.raises(SchemaMismatchError):
             ConfigResult.from_dict(missing)
+
+
+class TestJournalTornLineRecovery:
+    """Reopen must repair a torn tail: quarantine + atomic compaction."""
+
+    def test_torn_line_moved_to_quarantine_sidecar(self, tmp_path, result):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record("key-a", result)
+        torn = '{"key": "key-b", "schema_ver'
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write(torn)  # the kill case: no trailing newline
+        loaded = journal.load()
+        assert set(loaded) == {"key-a"}
+        assert journal.skipped == 1
+        assert journal.quarantined == 1
+        # Bytes preserved for inspection, journal compacted to valid
+        # lines only (ending on a clean newline).
+        assert torn in journal.quarantine_path.read_text()
+        text = journal.path.read_text()
+        assert torn not in text
+        assert text.endswith("\n")
+
+    def test_append_after_torn_line_cannot_fuse_records(self, tmp_path,
+                                                        result):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record("key-a", result)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "key-b", "schema_ver')
+        # The resume flow: load (repairs the tail), then keep recording.
+        journal.load()
+        journal.record("key-c", result)
+        reloaded = journal.load()
+        assert set(reloaded) == {"key-a", "key-c"}
+        assert journal.skipped == 0
+
+    def test_quarantine_counts_into_metrics_stream(self, tmp_path, result):
+        from repro.obs import metrics as metrics_module
+
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record("key-a", result)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"key": "key-b", "schema_ver')
+        stream = tmp_path / "events.jsonl"
+        registry = metrics_module.enable_metrics(stream_path=str(stream))
+        try:
+            journal.load()
+        finally:
+            metrics_module.disable_metrics()
+        assert registry.counters["journal.quarantined"] == 2.0
+        records = [json.loads(line) for line in
+                   stream.read_text().splitlines()]
+        quarantines = [r for r in records
+                       if r["event"] == "journal-quarantine"]
+        assert [r["line"] for r in quarantines] == [2, 3]
+
+    def test_clean_journal_is_left_untouched(self, tmp_path, result):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record("key-a", result)
+        before = journal.path.read_text()
+        journal.load()
+        assert journal.path.read_text() == before
+        assert not journal.quarantine_path.exists()
+
+
+class TestCacheQuarantineSurfacing:
+    """A corrupt cache entry must surface in sweep telemetry/reports."""
+
+    def _spec_and_cache(self, tmp_path):
+        from repro.experiments.parallel import RunSpec
+
+        spec = RunSpec(warehouses=10, processors=1, settings=FAST_SETTINGS)
+        return spec, ResultCache(tmp_path / "cache")
+
+    def test_quarantine_event_names_the_offending_key(self, tmp_path,
+                                                      result):
+        from repro.obs import metrics as metrics_module
+
+        spec, cache = self._spec_and_cache(tmp_path)
+        cache.store(spec.key(), result)
+        (cache.directory / f"{spec.key()}.json").write_text("{corrupt")
+        stream = tmp_path / "events.jsonl"
+        registry = metrics_module.enable_metrics(stream_path=str(stream))
+        try:
+            assert cache.load(spec.key()) is None
+        finally:
+            metrics_module.disable_metrics()
+        assert registry.counters["cache.quarantined"] == 1.0
+        records = [json.loads(line) for line in
+                   stream.read_text().splitlines()]
+        quarantines = [r for r in records if r["event"] == "cache-quarantine"]
+        assert len(quarantines) == 1
+        assert quarantines[0]["key"] == spec.key()
+
+    def test_corrupt_entry_surfaces_in_sweep_report(self, tmp_path):
+        from repro.experiments.parallel import RunSpec, sweep_telemetry
+        from repro.obs.sweep_report import build_sweep_report
+
+        cache_dir = tmp_path / "cache"
+        grid = (10,)
+        # Populate the cache, then corrupt the entry on disk.
+        sweep_telemetry(grid, 1, settings=FAST_SETTINGS, jobs=1,
+                        cache_dir=cache_dir)
+        spec = RunSpec(warehouses=10, processors=1, settings=FAST_SETTINGS)
+        (cache_dir / f"{spec.key()}.json").write_text("{corrupt")
+        points = sweep_telemetry(grid, 1, settings=FAST_SETTINGS, jobs=1,
+                                 cache_dir=cache_dir)
+        text = build_sweep_report(points).to_markdown()
+        assert "cache.quarantined" in text  # no longer silent

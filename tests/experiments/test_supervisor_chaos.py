@@ -1,0 +1,323 @@
+"""Chaos tests for the sharded supervisor: injected worker death,
+hangs, and poisoned attempts must leave sweep results bit-identical to
+the serial golden, with the degradation visible in events/metrics."""
+
+import json
+
+import pytest
+
+from repro.experiments.configs import FAST_SETTINGS
+from repro.experiments.parallel import RunSpec, sweep_parallel
+from repro.experiments.resilience import SweepJournal
+from repro.experiments.runner import sweep
+from repro.experiments.supervisor import (
+    ChaosError,
+    ChaosPolicy,
+    ShardSpec,
+    ShardedSupervisor,
+    SupervisorPolicy,
+    SweepFailure,
+    backoff_delay,
+    default_shards,
+    supervised_run_telemetry,
+    supervised_sweep,
+)
+from repro.obs import metrics as metrics_module
+from repro.obs.sweep_report import build_sweep_report, degradation_section
+
+GRID = (10, 25)
+PROCESSORS = 1
+
+#: Fast supervision knobs shared by every test: tiny backoff, quick
+#: ticks, so chaos recovery costs milliseconds, not the defaults.
+FAST_POLICY = SupervisorPolicy(max_retries=3, base_backoff_s=0.01,
+                               max_backoff_s=0.05, tick_s=0.02)
+
+
+def canonical(results):
+    """Byte-exact serialization, the determinism contract's currency."""
+    return [json.dumps(r.to_dict(), sort_keys=True) for r in results]
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    return canonical(sweep(GRID, PROCESSORS, settings=FAST_SETTINGS,
+                           use_cache=False))
+
+
+def make_specs():
+    return [RunSpec(warehouses=w, processors=PROCESSORS,
+                    settings=FAST_SETTINGS) for w in GRID]
+
+
+class TestPolicyPrimitives:
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = SupervisorPolicy(base_backoff_s=0.1, backoff_factor=2.0,
+                                  max_backoff_s=0.5)
+        first = backoff_delay("key-a", 1, policy)
+        assert first == backoff_delay("key-a", 1, policy)
+        # jitter desynchronizes different keys and attempts
+        assert first != backoff_delay("key-b", 1, policy)
+        assert first != backoff_delay("key-a", 2, policy)
+        # exponential growth up to the cap (+ jitter < base)
+        for attempt in range(1, 8):
+            delay = backoff_delay("key-a", attempt, policy)
+            assert 0.0 <= delay <= 0.5 + 0.1
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(point_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(shard_failure_threshold=0)
+
+    def test_shard_spec_validation(self):
+        with pytest.raises(ValueError):
+            ShardSpec("bad", jobs=0)
+
+    def test_default_shards_split_job_budget(self):
+        shards = default_shards(2, jobs=4, cache_dir="/tmp/c")
+        assert [s.jobs for s in shards] == [2, 2]
+        assert [s.name for s in shards] == ["shard-0", "shard-1"]
+        assert all(s.cache_dir == "/tmp/c" for s in shards)
+        with pytest.raises(ValueError):
+            default_shards(0)
+
+
+class TestChaosPolicy:
+    def test_deterministic_action(self):
+        chaos = ChaosPolicy(seed=7, kill=0.3, hang=0.3, poison=0.3,
+                            attempts=2)
+        actions = [chaos.action(f"key-{i}", 0) for i in range(50)]
+        assert actions == [chaos.action(f"key-{i}", 0) for i in range(50)]
+        assert {"kill", "hang", "poison"} & set(a for a in actions if a)
+
+    def test_attempt_bound_guarantees_convergence(self):
+        chaos = ChaosPolicy(kill=1.0, attempts=2)
+        assert chaos.action("k", 0) == "kill"
+        assert chaos.action("k", 1) == "kill"
+        assert chaos.action("k", 2) is None
+
+    def test_targets_scope_the_blast_radius(self):
+        chaos = ChaosPolicy(poison=1.0, attempts=1, targets=("only-me",))
+        assert chaos.action("only-me", 0) == "poison"
+        assert chaos.action("someone-else", 0) is None
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            ChaosPolicy(kill=1.5)
+        with pytest.raises(ValueError):
+            ChaosPolicy(kill=0.6, hang=0.6)
+
+
+class TestPoisonRetry:
+    def test_poisoned_first_attempts_retry_to_identical_results(
+            self, tmp_path, serial_reference):
+        supervisor = ShardedSupervisor(
+            shards=(ShardSpec("a", cache_dir=str(tmp_path / "a"), jobs=2),),
+            policy=FAST_POLICY,
+            chaos=ChaosPolicy(poison=1.0, attempts=1))
+        results = supervisor.run(make_specs())
+        assert canonical(results) == serial_reference
+        retries = [e for e in supervisor.events if e["event"] == "point-retry"]
+        assert len(retries) == len(GRID)
+        assert all("ChaosError" in e["error"] for e in retries)
+
+    def test_retry_budget_exhaustion_raises_sweep_failure(self, tmp_path):
+        supervisor = ShardedSupervisor(
+            shards=(ShardSpec("a", cache_dir=str(tmp_path / "a"), jobs=1),),
+            policy=SupervisorPolicy(max_retries=1, base_backoff_s=0.005,
+                                    tick_s=0.02),
+            chaos=ChaosPolicy(poison=1.0, attempts=5))
+        with pytest.raises(SweepFailure) as error:
+            supervisor.run(make_specs())
+        assert error.value.attempts == 2
+        assert isinstance(error.value.last_error, ChaosError)
+
+
+class TestPoolSelfHealing:
+    def test_killed_worker_rebuilds_pool_not_serial(self, tmp_path,
+                                                    serial_reference):
+        # Every point's first attempt kills its worker: the pool breaks,
+        # is rebuilt, and the second attempts complete — bit-identically.
+        supervisor = ShardedSupervisor(
+            shards=(ShardSpec("a", cache_dir=str(tmp_path / "a"), jobs=2),),
+            policy=FAST_POLICY,
+            chaos=ChaosPolicy(kill=1.0, attempts=1))
+        results = supervisor.run(make_specs())
+        assert canonical(results) == serial_reference
+        kinds = {e["event"] for e in supervisor.events}
+        assert "pool-rebuild" in kinds
+        assert "serial-fallback" not in kinds
+        health = supervisor.shard_health()[0]
+        assert health.rebuilds >= 1 and not health.failed
+        assert health.completed == len(GRID)
+
+
+class TestShardFailover:
+    def test_sick_shard_fails_over_to_healthy_shard(self, tmp_path,
+                                                    serial_reference):
+        specs = make_specs()
+        # Kill only the first point's worker; threshold 1 fails its
+        # shard immediately, so its points must finish elsewhere.
+        chaos = ChaosPolicy(kill=1.0, attempts=1, targets=(specs[0].key(),))
+        policy = SupervisorPolicy(max_retries=3, base_backoff_s=0.01,
+                                  tick_s=0.02, shard_failure_threshold=1)
+        supervisor = ShardedSupervisor(
+            shards=(ShardSpec("sick", cache_dir=str(tmp_path / "a"), jobs=1),
+                    ShardSpec("healthy", cache_dir=str(tmp_path / "b"),
+                              jobs=1)),
+            policy=policy, chaos=chaos)
+        results = supervisor.run(specs)
+        assert canonical(results) == serial_reference
+        kinds = [e["event"] for e in supervisor.events]
+        assert "shard-failed" in kinds
+        assert "shard-failover" in kinds
+        by_name = {h.name: h for h in supervisor.shard_health()}
+        assert by_name["sick"].failed
+        assert not by_name["healthy"].failed
+        assert by_name["healthy"].completed >= 1
+
+    def test_all_shards_failed_falls_back_to_serial(self, tmp_path,
+                                                    serial_reference):
+        # Chaos kills first attempts of everything and the threshold is
+        # 1: both shards die, and the supervisor must still finish the
+        # sweep in-process (where kill degrades to poison, then the
+        # attempt bound clears).
+        policy = SupervisorPolicy(max_retries=3, base_backoff_s=0.01,
+                                  tick_s=0.02, shard_failure_threshold=1)
+        supervisor = ShardedSupervisor(
+            shards=(ShardSpec("a", cache_dir=str(tmp_path / "a"), jobs=1),
+                    ShardSpec("b", cache_dir=str(tmp_path / "b"), jobs=1)),
+            policy=policy, chaos=ChaosPolicy(kill=1.0, attempts=1))
+        results = supervisor.run(make_specs())
+        assert canonical(results) == serial_reference
+        assert "serial-fallback" in {e["event"] for e in supervisor.events}
+
+
+class TestTimeouts:
+    def test_hung_worker_is_killed_and_retried(self, tmp_path,
+                                               serial_reference):
+        specs = make_specs()
+        chaos = ChaosPolicy(hang=1.0, attempts=1, hang_s=30.0,
+                            targets=(specs[0].key(),))
+        policy = SupervisorPolicy(max_retries=3, base_backoff_s=0.01,
+                                  tick_s=0.02, point_timeout_s=1.0)
+        supervisor = ShardedSupervisor(
+            shards=(ShardSpec("a", cache_dir=str(tmp_path / "a"), jobs=2),),
+            policy=policy, chaos=chaos)
+        results = supervisor.run(specs)
+        assert canonical(results) == serial_reference
+        kinds = [e["event"] for e in supervisor.events]
+        assert "point-timeout" in kinds
+        assert "point-straggling" in kinds  # flagged before the deadline
+        assert "point-retry" in kinds
+
+
+class TestSupervisedSweep:
+    def test_journal_is_the_merge_point_across_shards(self, tmp_path,
+                                                      serial_reference):
+        journal_path = tmp_path / "sweep.jsonl"
+        shards = (ShardSpec("a", cache_dir=str(tmp_path / "a"), jobs=1),
+                  ShardSpec("b", cache_dir=str(tmp_path / "b"), jobs=1))
+        results = supervised_sweep(GRID, PROCESSORS, settings=FAST_SETTINGS,
+                                   journal=journal_path, shards=shards,
+                                   policy=FAST_POLICY)
+        assert canonical(results) == serial_reference
+        journal = SweepJournal(journal_path)
+        assert len(journal.load()) == len(GRID)
+
+    def test_resume_skips_journaled_points(self, tmp_path):
+        journal_path = tmp_path / "sweep.jsonl"
+        shards = (ShardSpec("a", cache_dir=str(tmp_path / "a"), jobs=2),)
+        first = supervised_sweep(GRID, PROCESSORS, settings=FAST_SETTINGS,
+                                 journal=journal_path, shards=shards,
+                                 policy=FAST_POLICY)
+        lines = journal_path.read_text().count("\n")
+        second = supervised_sweep(GRID, PROCESSORS, settings=FAST_SETTINGS,
+                                  journal=journal_path, shards=shards,
+                                  policy=FAST_POLICY)
+        assert journal_path.read_text().count("\n") == lines
+        assert canonical(second) == canonical(first)
+
+    def test_sweep_parallel_routes_through_supervisor(self, tmp_path,
+                                                      serial_reference):
+        supervisor = ShardedSupervisor(
+            shards=(ShardSpec("a", cache_dir=str(tmp_path / "a"), jobs=2),),
+            policy=FAST_POLICY, chaos=ChaosPolicy(poison=1.0, attempts=1))
+        results = sweep_parallel(GRID, PROCESSORS, settings=FAST_SETTINGS,
+                                 supervisor=supervisor)
+        assert canonical(results) == serial_reference
+        assert any(e["event"] == "point-retry" for e in supervisor.events)
+
+    def test_serial_env_supervises_in_process(self, monkeypatch, tmp_path,
+                                              serial_reference):
+        monkeypatch.setenv("REPRO_SERIAL", "1")
+        supervisor = ShardedSupervisor(
+            shards=(ShardSpec("a", cache_dir=str(tmp_path / "a"), jobs=4),),
+            policy=FAST_POLICY, chaos=ChaosPolicy(kill=1.0, attempts=1))
+        results = supervisor.run(make_specs())
+        # kill degrades to poison in-process; retries still converge.
+        assert canonical(results) == serial_reference
+        assert any(e["event"] == "point-retry" for e in supervisor.events)
+
+
+class TestDegradationTelemetry:
+    def test_metrics_counters_and_stream_record_the_chaos(self, tmp_path,
+                                                          serial_reference):
+        stream = tmp_path / "events.jsonl"
+        registry = metrics_module.enable_metrics(stream_path=str(stream))
+        try:
+            supervisor = ShardedSupervisor(
+                shards=(ShardSpec("a", cache_dir=str(tmp_path / "a"),
+                                  jobs=2),),
+                policy=FAST_POLICY, chaos=ChaosPolicy(kill=1.0, attempts=1))
+            results = supervisor.run(make_specs())
+        finally:
+            metrics_module.disable_metrics()
+        assert canonical(results) == serial_reference
+        assert registry.counters["supervisor.point_retry"] == len(GRID)
+        assert registry.counters["supervisor.pool_rebuild"] >= 1
+        assert registry.counters["supervisor.points_completed"] == len(GRID)
+        records = [json.loads(line) for line in
+                   stream.read_text().splitlines()]
+        assert any(r["event"] == "supervisor-point-retry" for r in records)
+        assert any(r["event"] == "supervisor-pool-rebuild" for r in records)
+
+    def test_degradation_timeline_lands_in_sweep_report(self, tmp_path):
+        supervisor = ShardedSupervisor(
+            shards=(ShardSpec("a", cache_dir=str(tmp_path / "a"), jobs=2),),
+            policy=FAST_POLICY, chaos=ChaosPolicy(poison=1.0, attempts=1))
+        points = supervised_run_telemetry(make_specs(),
+                                          supervisor=supervisor)
+        report = build_sweep_report(points, events=supervisor.events)
+        text = report.to_markdown()
+        assert "Degradation timeline" in text
+        assert "point-retry" in text
+
+    def test_degradation_section_shapes_event_fields(self):
+        section = degradation_section([
+            {"seq": 0, "event": "point-retry", "key": "k", "attempt": 1,
+             "backoff_s": 0.01, "error": "ChaosError('x')"},
+            {"seq": 1, "event": "shard-failover", "key": "k",
+             "source": "sick", "target": "healthy"},
+        ])
+        assert len(section.rows) == 2
+        assert section.rows[0][1] == "point-retry"
+        assert "attempt=1" in section.rows[0][4]
+
+    def test_supervised_telemetry_merges_into_parent_registry(
+            self, tmp_path):
+        registry = metrics_module.enable_metrics()
+        try:
+            supervised_run_telemetry(
+                make_specs(),
+                shards=(ShardSpec("a", cache_dir=str(tmp_path / "a"),
+                                  jobs=2),),
+                policy=FAST_POLICY)
+        finally:
+            metrics_module.disable_metrics()
+        assert registry.counters["runner.runs_finished"] == len(GRID)

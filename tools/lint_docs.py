@@ -12,7 +12,13 @@ new packages), run by the CI ``docs`` job:
   skipped);
 - every ``repro`` CLI subcommand registered in ``src/repro/cli.py``
   must be mentioned in the README (as ``repro <name>``), so new verbs
-  cannot land undocumented.
+  cannot land undocumented;
+- DESIGN.md's ``## N.`` sections must be numbered sequentially from 1,
+  every ``§N`` cross-reference in the Markdown docs and in ``src/repro``
+  docstrings must point at a section that exists, and the design ↔ API
+  module maps must stay in sync: every ``repro.<pkg>`` heading in
+  ``docs/API.md`` is a real package/module and every ``src/repro``
+  subpackage has a module-map heading.
 
 Exit status is the number of problems found (0 = clean), each printed
 as ``path:line: message``.
@@ -151,17 +157,117 @@ def check_cli_docs(repo: Path) -> list[str]:
     return problems
 
 
+#: ``## N. Title`` headers in DESIGN.md.
+_SECTION_RE = re.compile(r"^## (\d+)\.", re.MULTILINE)
+#: ``§N`` / ``§N-M`` cross-references in docs and docstrings.
+_SECTION_REF_RE = re.compile(r"§(\d+)(?:\s*[-–]\s*(\d+))?")
+#: ``repro.<dotted>`` names on API.md module-map headings.
+_API_HEADING_RE = re.compile(r"^### .*?`", re.MULTILINE)
+_API_NAME_RE = re.compile(r"`(repro(?:\.[a-z_]+)+)`")
+
+
+def design_sections(design_path: Path) -> list[tuple[int, int]]:
+    """(section number, line) for every ``## N.`` header in DESIGN.md."""
+    text = design_path.read_text(encoding="utf-8")
+    return [(int(match.group(1)), text.count("\n", 0, match.start()) + 1)
+            for match in _SECTION_RE.finditer(text)]
+
+
+def check_design_sections(repo: Path) -> list[str]:
+    """DESIGN.md structural findings: headers sequential, §refs resolve.
+
+    A ``§N`` reference greater than the last DESIGN.md section is dead
+    (§refs to the *paper's* sections stay below that bound, so they
+    pass incidentally — the check is deliberately one-sided).
+    """
+    design = repo / "DESIGN.md"
+    if not design.exists():  # pragma: no cover - repo invariant
+        return []
+    problems = []
+    sections = design_sections(design)
+    numbers = [number for number, _line in sections]
+    expected = list(range(1, len(numbers) + 1))
+    if numbers != expected:
+        first_bad = next((i for i, (got, want)
+                          in enumerate(zip(numbers, expected))
+                          if got != want), len(expected) - 1)
+        problems.append(
+            f"DESIGN.md:{sections[first_bad][1]}: section headers are "
+            f"{numbers}, expected sequential numbering {expected}")
+    highest = max(numbers, default=0)
+
+    ref_sources = [design.parent / name
+                   for name in ("README.md", "docs/API.md")]
+    ref_sources += sorted(SOURCE_ROOT.rglob("*.py"))
+    for path in ref_sources:
+        if not path.exists():
+            continue
+        text = path.read_text(encoding="utf-8")
+        for match in _SECTION_REF_RE.finditer(text):
+            referenced = [int(match.group(1))]
+            if match.group(2):
+                referenced.append(int(match.group(2)))
+            for number in referenced:
+                if number > highest:
+                    line = text.count("\n", 0, match.start()) + 1
+                    problems.append(
+                        f"{path.relative_to(repo)}:{line}: §{number} "
+                        f"does not exist (DESIGN.md ends at "
+                        f"§{highest})")
+    return problems
+
+
+def check_api_module_map(repo: Path) -> list[str]:
+    """docs/API.md ↔ src/repro drift findings.
+
+    Two-way: every ``repro.*`` name on a ``###`` module-map heading
+    must import-resolve to a package or module on disk, and every
+    subpackage under ``src/repro`` must appear on some heading — so a
+    new subsystem (like ``experiments.supervisor``'s parent) cannot
+    land without an API.md entry.
+    """
+    api = repo / "docs" / "API.md"
+    if not api.exists():  # pragma: no cover - repo invariant
+        return []
+    problems = []
+    text = api.read_text(encoding="utf-8")
+    documented = set()
+    for heading in _API_HEADING_RE.finditer(text):
+        line_end = text.find("\n", heading.start())
+        line_text = text[heading.start():line_end]
+        lineno = text.count("\n", 0, heading.start()) + 1
+        for name_match in _API_NAME_RE.finditer(line_text):
+            name = name_match.group(1)
+            documented.add(name)
+            parts = name.split(".")[1:]  # drop the "repro" root
+            target = SOURCE_ROOT.joinpath(*parts)
+            if not (target.is_dir() or target.with_suffix(".py").is_file()):
+                problems.append(
+                    f"docs/API.md:{lineno}: module-map heading names "
+                    f"{name!r}, which does not exist under src/repro")
+    packages = sorted(child.name for child in SOURCE_ROOT.iterdir()
+                      if child.is_dir() and (child / "__init__.py").exists())
+    for package in packages:
+        if f"repro.{package}" not in documented:
+            problems.append(
+                f"src/repro/{package}/__init__.py:1: package "
+                f"'repro.{package}' has no '### `repro.{package}`' "
+                f"module-map heading in docs/API.md")
+    return problems
+
+
 def main() -> int:
     """Run all checks; returns the number of problems found."""
     problems = (check_docstrings(SOURCE_ROOT) + check_links(REPO)
-                + check_cli_docs(REPO))
+                + check_cli_docs(REPO) + check_design_sections(REPO)
+                + check_api_module_map(REPO))
     for problem in problems:
         print(problem)
     if problems:
         print(f"{len(problems)} documentation problem(s)")
     else:
         print("docs lint clean: docstrings present, links resolve, "
-              "CLI verbs documented")
+              "CLI verbs documented, DESIGN/API maps in sync")
     return min(len(problems), 100)
 
 
