@@ -6,6 +6,7 @@
     python -m repro run -w 200 --faults plan.json   # ... on degraded hardware
     python -m repro sweep -p 4 --chart       # warehouse sweep (+ ASCII plot)
     python -m repro sweep -p 4 --resume      # checkpointed (kill-safe) sweep
+    python -m repro sweep -p 4 --workers 3   # distributed sweep over fabric workers
     python -m repro pivot -p 4 --metric cpi  # two-region fit and pivot
     python -m repro table1                   # the 90%-utilization search
     python -m repro variability -w 100 -p 4  # multi-seed error bars
@@ -28,7 +29,11 @@ see DESIGN.md §8); ``REPRO_SERIAL=1`` forces serial execution.
 executor (:mod:`repro.experiments.supervisor`): per-point retry with
 deterministic backoff, pool self-healing on worker death, and shard
 failover, with the degradation timeline surfaced in sweep reports
-(DESIGN.md §11).
+(DESIGN.md §11).  ``--workers N`` (on ``sweep``) distributes the sweep
+across ``N`` fabric worker processes over ``--transport`` stdio pipes
+or TCP sockets (:mod:`repro.fabric`): time-bounded leases, heartbeat
+liveness, idempotent journal appends, and graceful fallback to the
+local executor when the fleet is lost (DESIGN.md §12).
 
 ``report`` runs one configuration with tracing enabled
 (:mod:`repro.obs`) and writes a Markdown (optionally HTML) dashboard —
@@ -126,6 +131,61 @@ def _add_supervision(parser: argparse.ArgumentParser) -> None:
                         help="wall-clock budget per point attempt in "
                              "seconds (stragglers are killed and retried; "
                              "implies the supervised executor)")
+
+
+def _add_fabric(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="distributed execution across N fabric worker "
+                             "processes (leases, heartbeats, requeue, "
+                             "local fallback; see DESIGN.md §12)")
+    parser.add_argument("--transport", choices=("stdio", "tcp"),
+                        default="stdio",
+                        help="fabric worker transport: stdio subprocess "
+                             "pipes (default) or local TCP sockets")
+
+
+def _fabric_coordinator(args):
+    """A :class:`FabricCoordinator` from CLI flags, or None (no fabric).
+
+    ``--workers N`` opts into the distributed fabric executor; it
+    shares ``--retries`` with the supervised path and maps
+    ``--point-timeout`` onto the lease timeout.  Mutually exclusive
+    with ``--shards`` — the fabric already falls back to local sharded
+    execution when the fleet is lost.
+    """
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        return None
+    if getattr(args, "shards", None) is not None:
+        raise SystemExit("--workers (fabric) and --shards (local "
+                         "supervision) are mutually exclusive")
+    if workers < 1:
+        raise SystemExit("--workers needs a positive worker count")
+    from repro.experiments.supervisor import SupervisorPolicy
+    from repro.fabric import FabricCoordinator, FabricPolicy
+
+    retries = getattr(args, "retries", None)
+    timeout = getattr(args, "point_timeout", None)
+    policy = SupervisorPolicy(
+        max_retries=retries if retries is not None else 3,
+        point_timeout_s=timeout)
+    fabric = FabricPolicy(workers=workers, transport=args.transport,
+                          lease_timeout_s=timeout)
+    return FabricCoordinator(policy=policy, fabric=fabric)
+
+
+def _print_fabric_summary(coordinator) -> None:
+    """One-line fleet health + degradation summary after a fabric sweep."""
+    health = coordinator.worker_health()
+    states = ", ".join(f"{h.name}={h.state}({h.completed})"
+                       for h in health)
+    print(f"fabric: {len(health)} worker(s): {states}")
+    degraded = [e for e in coordinator.events
+                if e["event"] not in ("fleet-started", "worker-ready",
+                                      "lease-granted")]
+    if degraded:
+        kinds = ", ".join(sorted({e["event"] for e in degraded}))
+        print(f"fabric: {len(degraded)} degradation event(s) ({kinds})")
 
 
 def _supervisor(args):
@@ -230,11 +290,23 @@ def cmd_sweep(args) -> int:
     if journal is not None:
         done = len(journal.load())
         print(f"journal: {journal.path} ({done} point(s) already complete)")
-    supervisor = _supervisor(args)
-    records = sweep_parallel(grid, args.processors, machine=_machine(args),
-                             settings=_settings(args), faults=faults,
-                             journal=journal, jobs=args.jobs,
-                             supervisor=supervisor)
+    coordinator = _fabric_coordinator(args)
+    if coordinator is not None:
+        from repro.fabric import fabric_sweep
+
+        supervisor = None
+        records = fabric_sweep(grid, args.processors,
+                               machine=_machine(args),
+                               settings=_settings(args), faults=faults,
+                               journal=journal, coordinator=coordinator)
+        _print_fabric_summary(coordinator)
+    else:
+        supervisor = _supervisor(args)
+        records = sweep_parallel(grid, args.processors,
+                                 machine=_machine(args),
+                                 settings=_settings(args), faults=faults,
+                                 journal=journal, jobs=args.jobs,
+                                 supervisor=supervisor)
     if supervisor is not None and supervisor.events:
         degraded = [e for e in supervisor.events
                     if e["event"] != "point-straggling"]
@@ -495,6 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_faults(sweep_parser)
     _add_jobs(sweep_parser)
     _add_supervision(sweep_parser)
+    _add_fabric(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
     pivot_parser = commands.add_parser("pivot",

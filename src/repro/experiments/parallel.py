@@ -118,6 +118,9 @@ class PointTelemetry:
     manifest: Optional[RunManifest] = None
     trace: Optional[dict] = None
     metrics: Optional[dict] = None
+    #: Fabric worker id that produced the point (:mod:`repro.fabric`);
+    #: empty when the point ran locally (pool or serial path).
+    worker: str = ""
 
     @property
     def label(self) -> str:

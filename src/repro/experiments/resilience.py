@@ -146,6 +146,27 @@ class ConvergenceGuard:
         return user_cpi, os_cpi
 
 
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-created/renamed entry is durable.
+
+    File-data fsync alone does not persist the *name*: after a crash, a
+    freshly created journal (or a just-compacted one published via
+    ``os.replace``) can vanish from its directory even though its bytes
+    were synced.  Best-effort — some filesystems refuse ``open`` on
+    directories, and durability degrades gracefully there.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic/readonly filesystem
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync unsupported on dirs
+        pass
+    finally:
+        os.close(fd)
+
+
 class SweepJournal:
     """Append-only JSONL checkpoint for :func:`repro.experiments.runner.sweep`.
 
@@ -236,13 +257,19 @@ class SweepJournal:
                       encoding="utf-8") as handle:
                 for _lineno, line in bad_lines:
                     handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
             tmp = self.path.with_name(f".{self.path.name}.{os.getpid()}.tmp")
             with open(tmp, "w", encoding="utf-8") as handle:
                 for line in valid_lines:
                     handle.write(line + "\n")
                 handle.flush()
                 os.fsync(handle.fileno())
+            # fsync-before-rename, then fsync the directory: the
+            # compacted journal must be durably *named* before any
+            # subsequent append trusts it as the clean tail.
             os.replace(tmp, self.path)
+            _fsync_dir(self.path.parent)
         except OSError:  # pragma: no cover - read-only journal dir
             pass
         if _metrics.ACTIVE:
@@ -261,7 +288,13 @@ class SweepJournal:
             "result": payload,
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        created = not self.path.exists()
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(entry) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        if created:
+            # First append created the file: sync the directory entry
+            # too, or a crash can lose the whole journal despite the
+            # data fsync above.
+            _fsync_dir(self.path.parent)

@@ -244,19 +244,36 @@ def _supervised_worker(spec: RunSpec, cache_dir: Optional[str],
     return _run_spec(spec, cache_dir, use_cache, worker_count=worker_count)
 
 
-def _kill_pool(pool: ProcessPoolExecutor) -> None:
-    """Tear a pool down hard: terminate workers, then shut down.
+def _kill_pool(pool: ProcessPoolExecutor,
+               join_timeout_s: float = 5.0) -> None:
+    """Tear a pool down hard: terminate, join bounded, escalate to kill.
 
-    Used for hung workers (a graceful shutdown would join them) and in
-    the supervisor's cleanup path.  Touches the executor's process
+    Used for hung workers (a graceful shutdown would join them forever)
+    and in the supervisor's cleanup path.  Terminated workers are
+    *joined* with a bounded timeout and SIGKILLed if they ignore the
+    terminate — without the join, every chaos-induced teardown leaks a
+    zombie until the parent exits.  Touches the executor's process
     table, which is stdlib-internal but stable across supported
     versions; every step is best-effort.
     """
-    processes = getattr(pool, "_processes", None) or {}
-    for process in list(processes.values()):
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    for process in processes:
         try:
             process.terminate()
         except Exception:  # pragma: no cover - already dead
+            pass
+    deadline = time.monotonic() + join_timeout_s
+    for process in processes:
+        try:
+            process.join(max(0.05, deadline - time.monotonic()))
+        except Exception:  # pragma: no cover - already reaped
+            pass
+    for process in processes:
+        try:
+            if process.is_alive():
+                process.kill()
+                process.join(join_timeout_s)
+        except Exception:  # pragma: no cover - already reaped
             pass
     try:
         pool.shutdown(wait=False, cancel_futures=True)
@@ -292,6 +309,12 @@ class _ShardRuntime:
         return ShardHealth(name=self.spec.name, jobs=self.spec.jobs,
                            failures=self.failures, rebuilds=self.rebuilds,
                            completed=self.completed, failed=self.failed)
+
+    def close(self, join_timeout_s: float = 5.0) -> None:
+        """Release the shard's pool with the bounded teardown ladder."""
+        if self.pool is not None:
+            _kill_pool(self.pool, join_timeout_s=join_timeout_s)
+            self.pool = None
 
 
 _WAITING, _RUNNING, _DONE = "waiting", "running", "done"
@@ -398,9 +421,7 @@ class ShardedSupervisor:
         return shard.pool
 
     def _drop_pool(self, shard: _ShardRuntime) -> None:
-        if shard.pool is not None:
-            _kill_pool(shard.pool)
-            shard.pool = None
+        shard.close()
 
     def _requeue_inflight(self, shard: _ShardRuntime, now: float,
                           error: BaseException) -> None:

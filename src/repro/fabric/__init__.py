@@ -1,0 +1,76 @@
+"""Distributed sweep fabric: coordinator/worker execution over transports.
+
+The third step of the execution ladder (DESIGN.md §12): PR 2's process
+pool fans a sweep across local CPUs, PR 5's :class:`ShardedSupervisor`
+supervises local worker pools per shard, and this package takes the
+"hosts, not just cores" step — a coordinator leases :class:`RunSpec`
+points to remote worker processes over pluggable transports (stdio
+subprocess pipes, TCP sockets), workers stream results plus serialized
+telemetry back, and the coordinator remains the *sole* writer to the
+:class:`~repro.experiments.resilience.SweepJournal`.
+
+Robustness is the headline contract:
+
+- time-bounded **leases** with automatic expiry and requeue;
+- **heartbeat** liveness detection with a configurable timeout;
+- per-point retry/backoff reusing
+  :class:`~repro.experiments.supervisor.SupervisorPolicy` and
+  :func:`~repro.experiments.supervisor.backoff_delay`;
+- a protocol-version **handshake** over schema-checked, length-prefixed
+  JSON frames — a malformed frame quarantines the worker, not the sweep;
+- journal appends **idempotent by config key**, so a re-leased point
+  that completes twice is deduplicated, never double-counted;
+- graceful degradation: when every remote worker is lost the sweep
+  finishes on a local
+  :class:`~repro.experiments.supervisor.ShardedSupervisor` fallback.
+
+Because every point is a pure function of its spec, none of this can
+change results: fabric sweeps are bit-identical to serial sweeps, which
+the deterministic :class:`~repro.fabric.chaos.FabricChaosPolicy` tests
+(worker SIGKILL mid-point, heartbeat blackhole, corrupt frames,
+duplicate-completion replay) pin in ``tests/fabric/``.
+"""
+
+from repro.fabric.chaos import FabricChaosPolicy
+from repro.fabric.coordinator import (
+    FabricCoordinator,
+    FabricPolicy,
+    WorkerHealth,
+    fabric_run_many,
+    fabric_run_telemetry,
+    fabric_sweep,
+)
+from repro.fabric.protocol import (
+    PROTOCOL_VERSION,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.fabric.transports import (
+    StdioTransport,
+    TcpListener,
+    TcpTransport,
+    WorkerTransport,
+)
+
+__all__ = [
+    "FabricChaosPolicy",
+    "FabricCoordinator",
+    "FabricPolicy",
+    "FrameError",
+    "PROTOCOL_VERSION",
+    "StdioTransport",
+    "TcpListener",
+    "TcpTransport",
+    "WorkerHealth",
+    "WorkerTransport",
+    "decode_frame",
+    "encode_frame",
+    "fabric_run_many",
+    "fabric_run_telemetry",
+    "fabric_sweep",
+    "read_frame",
+    "write_frame",
+]

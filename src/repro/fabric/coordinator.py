@@ -1,0 +1,724 @@
+"""The fabric coordinator: lease points to workers, survive their deaths.
+
+:class:`FabricCoordinator` drives a sweep across remote worker
+processes (DESIGN.md §12).  It owns the full robustness contract:
+
+- **Leases** — each ready worker holds at most one time-bounded lease on
+  one :class:`~repro.experiments.parallel.RunSpec` point; an expired
+  lease requeues the point (with the supervisor's deterministic
+  :func:`~repro.experiments.supervisor.backoff_delay`) without killing
+  the worker — a late-but-valid completion is still accepted.
+- **Heartbeats** — a worker silent past ``heartbeat_timeout_s`` is
+  marked unresponsive and its lease requeued; it is restored to the
+  ready pool if it comes back, quarantined after
+  ``worker_failure_threshold`` strikes.
+- **Quarantine** — a malformed frame (or a checksum-mismatched result)
+  condemns the *worker*, never the sweep: its lease requeues and the
+  channel is closed with the bounded teardown ladder.
+- **Idempotent completion** — the coordinator tracks completed config
+  keys; a duplicate completion (re-leased point finishing twice,
+  chaos replay) is counted and dropped, so the
+  :class:`~repro.experiments.resilience.SweepJournal` — written *only*
+  by the coordinator, via the ``on_result`` hook — records every point
+  exactly once.
+- **Graceful degradation** — when every worker is lost or quarantined
+  (or ``REPRO_SERIAL=1`` forbids spawning), the remaining points finish
+  on a local :class:`~repro.experiments.supervisor.ShardedSupervisor`
+  under the same policy and the same ``on_result`` hook.
+
+Because every point is a pure function of its spec, none of this can
+change results: a fabric sweep is bit-identical to a serial sweep, and
+``events`` / ``worker_health()`` (mirrored to ``fabric.*`` metrics)
+are descriptive telemetry only.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from repro.experiments.parallel import (
+    PointTelemetry,
+    RunSpec,
+    serial_forced,
+)
+from repro.experiments.records import ConfigResult, payload_checksum
+from repro.experiments.resilience import SweepJournal
+from repro.experiments.supervisor import (
+    ShardedSupervisor,
+    SupervisorPolicy,
+    SweepFailure,
+    backoff_delay,
+    default_shards,
+)
+from repro.fabric.chaos import FabricChaosPolicy
+from repro.fabric.protocol import PROTOCOL_VERSION, FrameError
+from repro.fabric.transports import (
+    CHANNEL_CLOSED,
+    TcpListener,
+    WorkerTransport,
+    close_transports,
+    launch_stdio_workers,
+    launch_tcp_workers,
+)
+from repro.obs import metrics as _metrics
+from repro.obs.manifest import RunManifest
+
+#: Transport names accepted by ``FabricPolicy.transport``.
+TRANSPORTS = ("stdio", "tcp")
+
+
+@dataclass(frozen=True)
+class FabricPolicy:
+    """Fabric-layer knobs: worker fleet shape, liveness, lease bounds.
+
+    Retry budget and backoff shape stay on
+    :class:`~repro.experiments.supervisor.SupervisorPolicy` — the fabric
+    reuses them unchanged, so a sweep degrades from distributed to
+    sharded-local without changing its retry semantics.
+    """
+
+    workers: int = 2
+    transport: str = "stdio"
+    heartbeat_s: float = 0.25
+    heartbeat_timeout_s: float = 2.0
+    #: Wall-clock bound on one lease; ``None`` disables expiry.
+    lease_timeout_s: Optional[float] = None
+    #: Unresponsive/error strikes before a worker is quarantined.
+    worker_failure_threshold: int = 3
+    handshake_timeout_s: float = 10.0
+    tick_s: float = 0.02
+    close_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}")
+        if self.heartbeat_s <= 0 or self.heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat intervals must be positive")
+        if self.heartbeat_timeout_s <= self.heartbeat_s:
+            raise ValueError("heartbeat_timeout_s must exceed heartbeat_s")
+        if self.lease_timeout_s is not None and self.lease_timeout_s <= 0:
+            raise ValueError("lease_timeout_s must be positive (or None)")
+        if self.worker_failure_threshold < 1:
+            raise ValueError("worker_failure_threshold must be >= 1")
+        if self.handshake_timeout_s <= 0 or self.tick_s <= 0:
+            raise ValueError("timeouts must be positive")
+
+
+@dataclass
+class WorkerHealth:
+    """Public health snapshot of one worker (see ``worker_health()``)."""
+
+    name: str
+    host: str = ""
+    pid: Optional[int] = None
+    state: str = "connecting"
+    completed: int = 0
+    failures: int = 0
+    duplicates: int = 0
+
+
+#: Worker states.  ``connecting`` → ``ready`` on handshake; ``ready`` ↔
+#: ``unresponsive`` on heartbeat loss/recovery; ``lost`` (channel EOF,
+#: dead process, handshake timeout), ``quarantined`` (malformed frame,
+#: bad checksum, failure threshold) and ``rejected`` (protocol
+#: mismatch) are terminal.
+_TERMINAL_STATES = frozenset({"lost", "quarantined", "rejected"})
+
+
+class _WorkerRuntime:
+    """Mutable per-worker state: transport, liveness clocks, lease."""
+
+    def __init__(self, transport: WorkerTransport, now: float,
+                 handshake_timeout_s: float):
+        self.transport = transport
+        self.name = transport.name
+        self.host = ""
+        self.pid: Optional[int] = None
+        self.state = "connecting"
+        self.completed = 0
+        self.failures = 0
+        self.duplicates = 0
+        self.point = None
+        self.last_beat = now
+        self.last_strike = now
+        self.handshake_deadline = now + handshake_timeout_s
+
+    def health(self) -> WorkerHealth:
+        """The picklable snapshot of this worker's counters."""
+        return WorkerHealth(name=self.name, host=self.host, pid=self.pid,
+                            state=self.state, completed=self.completed,
+                            failures=self.failures,
+                            duplicates=self.duplicates)
+
+
+_WAITING, _RUNNING, _DONE = "waiting", "running", "done"
+
+
+class _Point:
+    """Coordinator-side state of one sweep point across its leases."""
+
+    __slots__ = ("index", "spec", "key", "attempt", "state", "not_before",
+                 "deadline", "last_error")
+
+    def __init__(self, index: int, spec: RunSpec):
+        self.index = index
+        self.spec = spec
+        self.key = spec.key()
+        self.attempt = 0
+        self.state = _WAITING
+        self.not_before = 0.0
+        self.deadline: Optional[float] = None
+        self.last_error: Optional[BaseException] = None
+
+
+class FabricCoordinator:
+    """Distributed executor for :class:`RunSpec` points over transports.
+
+    ``run(specs)`` returns payloads in grid order —
+    :class:`~repro.experiments.records.ConfigResult` by default,
+    :class:`~repro.experiments.parallel.PointTelemetry` (stamped with
+    the producing worker's id) with ``telemetry=True`` — surviving
+    worker death, silence, corruption and replay, or raising
+    :class:`~repro.experiments.supervisor.SweepFailure` once a point's
+    retry budget is spent.  Pass prebuilt ``transports`` (tests), or
+    let ``fabric.workers``/``fabric.transport`` spawn the fleet.
+    """
+
+    def __init__(self, transports: Optional[Sequence[WorkerTransport]] = None,
+                 policy: Optional[SupervisorPolicy] = None,
+                 fabric: Optional[FabricPolicy] = None,
+                 chaos: Optional[FabricChaosPolicy] = None,
+                 use_cache: bool = True,
+                 cache_dir: Optional[Union[str, Path]] = None):
+        self.policy = policy or SupervisorPolicy()
+        self.fabric = fabric or FabricPolicy()
+        self.chaos = chaos
+        self.use_cache = use_cache
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self._given_transports = list(transports) if transports else None
+        self._workers: list[_WorkerRuntime] = []
+        self._listener: Optional[TcpListener] = None
+        #: Ordered degradation timeline (dicts with ``seq``/``event``
+        #: plus ``worker``/``key``/``reason`` fields as applicable).
+        self.events: list[dict] = []
+        self._completed: set[str] = set()
+        self._lease_counter = 0
+        self._telemetry = False
+
+    # ------------------------------------------------------------------
+    # telemetry plumbing
+
+    def worker_health(self) -> list[WorkerHealth]:
+        """Per-worker health snapshots, in connection order."""
+        return [worker.health() for worker in self._workers]
+
+    def _event(self, kind: str, **fields) -> None:
+        record = {"seq": len(self.events), "event": kind}
+        record.update(fields)
+        self.events.append(record)
+        if _metrics.ACTIVE:
+            _metrics.inc(f"fabric.{kind.replace('-', '_')}")
+            _metrics.emit(f"fabric-{kind}", **fields)
+
+    # ------------------------------------------------------------------
+    # fleet lifecycle
+
+    def _spawn(self, now: float) -> None:
+        chaos_json = self.chaos.to_json() if self.chaos is not None else None
+        if self._given_transports is not None:
+            transports = self._given_transports
+        elif self.fabric.transport == "tcp":
+            self._listener = TcpListener()
+            transports = launch_tcp_workers(
+                self.fabric.workers, self._listener,
+                heartbeat_s=self.fabric.heartbeat_s, chaos_json=chaos_json)
+        else:
+            transports = launch_stdio_workers(
+                self.fabric.workers, heartbeat_s=self.fabric.heartbeat_s,
+                chaos_json=chaos_json)
+        self._workers = [
+            _WorkerRuntime(transport, now, self.fabric.handshake_timeout_s)
+            for transport in transports]
+        self._event("fleet-started", workers=len(self._workers),
+                    transport=self.fabric.transport)
+
+    def _shutdown(self) -> None:
+        for worker in self._workers:
+            if worker.state not in _TERMINAL_STATES:
+                worker.transport.send({"type": "shutdown"})
+        close_transports([worker.transport for worker in self._workers],
+                         timeout_s=self.fabric.close_timeout_s)
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    def _usable(self) -> list[_WorkerRuntime]:
+        return [worker for worker in self._workers
+                if worker.state not in _TERMINAL_STATES]
+
+    def _release_lease(self, worker: _WorkerRuntime):
+        point = worker.point
+        worker.point = None
+        if point is not None and point.state != _DONE:
+            return point
+        return None
+
+    def _condemn(self, worker: _WorkerRuntime, state: str, kind: str,
+                 reason: str, now: float) -> None:
+        """Move a worker to a terminal state and requeue its lease."""
+        if worker.state in _TERMINAL_STATES:
+            return
+        worker.state = state
+        self._event(kind, worker=worker.name, reason=reason)
+        point = self._release_lease(worker)
+        worker.transport.close(timeout_s=self.fabric.close_timeout_s)
+        if point is not None:
+            self._retry(point, RuntimeError(f"{worker.name}: {reason}"), now)
+
+    def _lose(self, worker: _WorkerRuntime, reason: str, now: float) -> None:
+        self._condemn(worker, "lost", "worker-lost", reason, now)
+
+    def _quarantine(self, worker: _WorkerRuntime, reason: str,
+                    now: float) -> None:
+        self._condemn(worker, "quarantined", "worker-quarantined", reason,
+                      now)
+
+    def _strike(self, worker: _WorkerRuntime, reason: str,
+                now: float) -> None:
+        """Count one failure; quarantine at the policy threshold."""
+        worker.failures += 1
+        if worker.failures >= self.fabric.worker_failure_threshold:
+            self._quarantine(worker, f"failure threshold: {reason}", now)
+
+    # ------------------------------------------------------------------
+    # point lifecycle
+
+    def _retry(self, point: _Point, error: BaseException,
+               now: float) -> None:
+        point.attempt += 1
+        point.last_error = error
+        point.deadline = None
+        if point.attempt > self.policy.max_retries:
+            raise SweepFailure(point.key, point.attempt, error)
+        delay = backoff_delay(point.key, point.attempt, self.policy)
+        point.state = _WAITING
+        point.not_before = now + delay
+        self._event("point-retry", key=point.key, attempt=point.attempt,
+                    backoff_s=round(delay, 6), error=repr(error))
+
+    def _assign(self, now: float) -> None:
+        ready = [worker for worker in self._workers
+                 if worker.state == "ready" and worker.point is None]
+        if not ready:
+            return
+        for point in self._points:
+            if not ready:
+                return
+            if point.state != _WAITING or point.not_before > now:
+                continue
+            worker = ready.pop(0)
+            self._lease_counter += 1
+            lease = {"type": "lease",
+                     "lease_id": f"L{self._lease_counter}",
+                     "key": point.key, "attempt": point.attempt,
+                     "spec": _encode_spec(point.spec),
+                     "use_cache": self.use_cache}
+            if self.cache_dir is not None:
+                lease["cache_dir"] = self.cache_dir
+            if not worker.transport.send(lease):
+                self._lose(worker, "send failed", now)
+                continue
+            worker.point = point
+            point.state = _RUNNING
+            point.deadline = (now + self.fabric.lease_timeout_s
+                              if self.fabric.lease_timeout_s is not None
+                              else None)
+            self._event("lease-granted", worker=worker.name, key=point.key,
+                        attempt=point.attempt)
+
+    def _complete(self, point: _Point, worker_name: str, message: dict,
+                  on_result: Optional[Callable]) -> None:
+        result = ConfigResult.from_dict(message["result"])
+        if self._telemetry:
+            manifest = None
+            raw = message.get("manifest")
+            if isinstance(raw, dict):
+                try:
+                    manifest = RunManifest.from_dict(raw)
+                except (ValueError, TypeError):
+                    manifest = None
+            trace = message.get("trace")
+            metrics = message.get("metrics")
+            payload = PointTelemetry(
+                spec=point.spec, result=result, manifest=manifest,
+                trace=trace if isinstance(trace, dict) else {},
+                metrics=metrics if isinstance(metrics, dict) else {},
+                worker=worker_name)
+        else:
+            payload = result
+        self._results[point.index] = payload
+        point.state = _DONE
+        point.deadline = None
+        self._completed.add(point.key)
+        if _metrics.ACTIVE:
+            _metrics.inc("fabric.points_completed")
+        if on_result is not None:
+            on_result(point.spec, result)
+
+    # ------------------------------------------------------------------
+    # frame handling
+
+    def _mark_alive(self, worker: _WorkerRuntime, now: float) -> None:
+        worker.last_beat = now
+        if worker.state == "unresponsive":
+            worker.state = "ready"
+            self._event("worker-recovered", worker=worker.name)
+
+    def _handle_hello(self, worker: _WorkerRuntime, message: dict,
+                      now: float) -> None:
+        if message["protocol"] != PROTOCOL_VERSION:
+            worker.transport.send({
+                "type": "reject",
+                "reason": f"protocol {message['protocol']} != "
+                          f"{PROTOCOL_VERSION}"})
+            worker.state = "rejected"
+            self._event("worker-rejected", worker=worker.name,
+                        reason=f"protocol {message['protocol']}")
+            worker.transport.close(timeout_s=self.fabric.close_timeout_s)
+            return
+        worker.name = message["worker_id"]
+        worker.transport.name = worker.name
+        worker.host = message["host"]
+        worker.pid = message["pid"]
+        if not worker.transport.send({"type": "welcome",
+                                      "protocol": PROTOCOL_VERSION}):
+            self._lose(worker, "welcome send failed", now)
+            return
+        worker.state = "ready"
+        worker.last_beat = now
+        self._event("worker-ready", worker=worker.name, host=worker.host,
+                    pid=worker.pid)
+
+    def _handle_result(self, worker: _WorkerRuntime, message: dict,
+                       now: float, on_result: Optional[Callable]) -> None:
+        self._mark_alive(worker, now)
+        key = message["key"]
+        if key in self._completed:
+            worker.duplicates += 1
+            self._event("duplicate-completion", worker=worker.name, key=key)
+            if worker.point is not None and worker.point.key == key:
+                worker.point = None
+            return
+        if payload_checksum(message["result"]) != message["checksum"]:
+            self._quarantine(worker, f"checksum mismatch on {key}", now)
+            return
+        point = self._by_key.get(key)
+        if point is None or point.state == _DONE:
+            return
+        if worker.point is point:
+            worker.point = None
+        worker.completed += 1
+        self._complete(point, worker.name, message, on_result)
+
+    def _handle_error(self, worker: _WorkerRuntime, message: dict,
+                      now: float) -> None:
+        self._mark_alive(worker, now)
+        key = message["key"]
+        if worker.point is not None and worker.point.key == key:
+            worker.point = None
+        self._strike(worker, f"error on {key}", now)
+        point = self._by_key.get(key)
+        if point is not None and point.state == _RUNNING:
+            self._retry(point, RuntimeError(message["error"]), now)
+
+    def _poll(self, now: float, on_result: Optional[Callable]) -> None:
+        for worker in self._workers:
+            if worker.state in _TERMINAL_STATES:
+                continue
+            for item in worker.transport.poll():
+                if worker.state in _TERMINAL_STATES:
+                    break
+                if item is CHANNEL_CLOSED:
+                    self._lose(worker, "channel closed", now)
+                    break
+                if isinstance(item, FrameError):
+                    self._quarantine(worker, f"malformed frame: {item}",
+                                     now)
+                    break
+                kind = item.get("type")
+                if kind == "hello":
+                    self._handle_hello(worker, item, now)
+                elif kind == "heartbeat":
+                    self._mark_alive(worker, now)
+                elif kind == "result":
+                    self._handle_result(worker, item, now, on_result)
+                elif kind == "error":
+                    self._handle_error(worker, item, now)
+                # welcome/reject/lease/shutdown are coordinator → worker
+                # frames; receiving one here is harmless noise.
+
+    def _scan_liveness(self, now: float) -> None:
+        for worker in self._workers:
+            if worker.state in _TERMINAL_STATES:
+                continue
+            if not worker.transport.alive():
+                self._lose(worker, "process died", now)
+                continue
+            if (worker.state == "connecting"
+                    and now >= worker.handshake_deadline):
+                self._lose(worker, "handshake timeout", now)
+                continue
+            if (worker.state == "ready"
+                    and now - worker.last_beat
+                    > self.fabric.heartbeat_timeout_s):
+                worker.state = "unresponsive"
+                worker.last_strike = now
+                self._event("worker-unresponsive", worker=worker.name,
+                            silent_s=round(now - worker.last_beat, 3))
+                point = self._release_lease(worker)
+                self._strike(worker, "heartbeat timeout", now)
+                if point is not None and point.state == _RUNNING:
+                    self._retry(point, TimeoutError(
+                        f"{worker.name} heartbeat timeout"), now)
+            elif (worker.state == "unresponsive"
+                    and now - worker.last_strike
+                    > self.fabric.heartbeat_timeout_s):
+                # Continued silence escalates: each further timeout
+                # window is another strike, so a permanently dark
+                # worker reaches the quarantine threshold instead of
+                # parking in limbo forever.
+                worker.last_strike = now
+                self._strike(worker, "continued silence", now)
+
+    def _scan_leases(self, now: float) -> None:
+        for point in self._points:
+            if point.state != _RUNNING or point.deadline is None:
+                continue
+            if now >= point.deadline:
+                self._event("lease-expired", key=point.key,
+                            attempt=point.attempt,
+                            timeout_s=self.fabric.lease_timeout_s)
+                # The worker keeps computing; only the lease is revoked.
+                # Its eventual completion is accepted (if first) or
+                # deduplicated (if the re-lease won the race).
+                for worker in self._workers:
+                    if worker.point is point:
+                        worker.point = None
+                self._retry(point, TimeoutError(
+                    f"lease on {point.key} exceeded "
+                    f"{self.fabric.lease_timeout_s}s"), now)
+
+    # ------------------------------------------------------------------
+    # graceful degradation
+
+    def _run_fallback(self, on_result: Optional[Callable],
+                      reason: str) -> None:
+        remaining = [point for point in self._points
+                     if point.state != _DONE]
+        self._event("local-fallback", remaining=len(remaining),
+                    reason=reason)
+        supervisor = ShardedSupervisor(
+            shards=default_shards(1, cache_dir=self.cache_dir),
+            policy=self.policy, use_cache=self.use_cache,
+            cache_dir=self.cache_dir)
+        payloads = supervisor.run([point.spec for point in remaining],
+                                  on_result=on_result,
+                                  telemetry=self._telemetry)
+        for point, payload in zip(remaining, payloads):
+            self._results[point.index] = payload
+            point.state = _DONE
+            self._completed.add(point.key)
+        for record in supervisor.events:
+            fields = {k: v for k, v in record.items()
+                      if k not in ("seq", "event")}
+            self._event(record["event"], **fields)
+
+    # ------------------------------------------------------------------
+    # the coordinator loop
+
+    def run(self, specs: Sequence[RunSpec],
+            on_result: Optional[Callable] = None,
+            telemetry: bool = False) -> list:
+        """Run every spec to completion; payloads in spec order.
+
+        ``on_result(spec, result)`` fires in this process, exactly once
+        per point, as completions arrive — the journal hook that keeps
+        the coordinator the journal's sole writer.  Raises
+        :class:`SweepFailure` when a point exhausts
+        ``policy.max_retries``.
+        """
+        self._telemetry = telemetry
+        self._results: list = [None] * len(specs)
+        self._points = [_Point(index, spec)
+                        for index, spec in enumerate(specs)]
+        self._by_key = {point.key: point for point in self._points}
+        self._completed = set()
+        if not self._points:
+            return []
+        if serial_forced() and self._given_transports is None:
+            # REPRO_SERIAL forbids spawning worker processes entirely;
+            # the supervisor's serial path honors the same contract.
+            self._run_fallback(on_result, "serial-forced")
+            return self._results
+        now = time.monotonic()
+        self._spawn(now)
+        try:
+            self._loop(on_result)
+            # One last drain so frames that raced the finish line
+            # (duplicate replays of the final point, trailing
+            # heartbeats) still land in the event timeline.
+            self._poll(time.monotonic(), on_result)
+        finally:
+            self._shutdown()
+        return self._results
+
+    def _loop(self, on_result: Optional[Callable]) -> None:
+        while True:
+            if all(point.state == _DONE for point in self._points):
+                return
+            now = time.monotonic()
+            self._poll(now, on_result)
+            self._scan_liveness(now)
+            self._scan_leases(now)
+            if not self._usable():
+                self._run_fallback(on_result, "all workers lost")
+                return
+            self._assign(now)
+            time.sleep(self.fabric.tick_s)
+
+
+def _encode_spec(spec: RunSpec) -> str:
+    """Late import shim so protocol stays import-light in the worker."""
+    from repro.fabric.protocol import encode_spec
+
+    return encode_spec(spec)
+
+
+# ----------------------------------------------------------------------
+# run_many / sweep shaped entry points
+
+
+def fabric_run_many(specs: Sequence[RunSpec],
+                    workers: int = 2, transport: str = "stdio",
+                    policy: Optional[SupervisorPolicy] = None,
+                    fabric: Optional[FabricPolicy] = None,
+                    chaos: Optional[FabricChaosPolicy] = None,
+                    use_cache: bool = True,
+                    cache_dir: Optional[Union[str, Path]] = None,
+                    on_result: Optional[Callable] = None,
+                    coordinator: Optional[FabricCoordinator] = None
+                    ) -> list[ConfigResult]:
+    """:func:`~repro.experiments.parallel.run_many` across the fabric.
+
+    Pass ``coordinator`` to keep the instance (its ``events`` and
+    ``worker_health()`` feed the degradation timeline of sweep
+    reports); otherwise one is built from ``workers``/``transport``
+    plus the optional policies.
+    """
+    if coordinator is None:
+        if fabric is None:
+            fabric = FabricPolicy(workers=workers, transport=transport)
+        coordinator = FabricCoordinator(policy=policy, fabric=fabric,
+                                        chaos=chaos, use_cache=use_cache,
+                                        cache_dir=cache_dir)
+    return coordinator.run(specs, on_result=on_result, telemetry=False)
+
+
+def fabric_run_telemetry(specs: Sequence[RunSpec],
+                         workers: int = 2, transport: str = "stdio",
+                         policy: Optional[SupervisorPolicy] = None,
+                         fabric: Optional[FabricPolicy] = None,
+                         chaos: Optional[FabricChaosPolicy] = None,
+                         use_cache: bool = True,
+                         cache_dir: Optional[Union[str, Path]] = None,
+                         coordinator: Optional[FabricCoordinator] = None
+                         ) -> list[PointTelemetry]:
+    """:func:`~repro.experiments.parallel.run_telemetry` across the fabric.
+
+    Every point's :class:`PointTelemetry` is stamped with the worker id
+    that produced it (empty for local-fallback points), and — exactly
+    like the local paths — per-point counters merge into the parent's
+    active metrics registry.
+    """
+    if coordinator is None:
+        if fabric is None:
+            fabric = FabricPolicy(workers=workers, transport=transport)
+        coordinator = FabricCoordinator(policy=policy, fabric=fabric,
+                                        chaos=chaos, use_cache=use_cache,
+                                        cache_dir=cache_dir)
+    points = coordinator.run(specs, telemetry=True)
+    registry = _metrics.current_registry()
+    if registry is not None:
+        for point in points:
+            if point is not None and point.metrics:
+                registry.merge(point.metrics)
+    return points
+
+
+def fabric_sweep(warehouse_grid, processors: int,
+                 machine=None, settings=None, clients_fn=None,
+                 use_cache: bool = True, faults=None,
+                 journal: Optional[Union[SweepJournal, str, Path]] = None,
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 workers: int = 2, transport: str = "stdio",
+                 policy: Optional[SupervisorPolicy] = None,
+                 fabric: Optional[FabricPolicy] = None,
+                 chaos: Optional[FabricChaosPolicy] = None,
+                 coordinator: Optional[FabricCoordinator] = None
+                 ) -> list[ConfigResult]:
+    """A warehouse sweep across the fabric, journal as merge point.
+
+    Mirrors :func:`~repro.experiments.supervisor.supervised_sweep`:
+    points already journaled are reused without leasing, the rest are
+    distributed across the workers, and every completion is journaled
+    from the coordinator — one deduplicated append stream no matter how
+    many workers (or re-leases) produced the results.
+    """
+    from repro.experiments.configs import DEFAULT_SETTINGS
+    from repro.hw.machine import XEON_MP_QUAD
+
+    machine = machine if machine is not None else XEON_MP_QUAD
+    settings = settings if settings is not None else DEFAULT_SETTINGS
+    if journal is not None and not isinstance(journal, SweepJournal):
+        journal = SweepJournal(journal)
+
+    specs = []
+    for warehouses in warehouse_grid:
+        clients = (clients_fn(warehouses, processors)
+                   if clients_fn is not None else None)
+        specs.append(RunSpec(warehouses=warehouses, processors=processors,
+                             clients=clients, machine=machine,
+                             settings=settings, faults=faults))
+
+    completed = journal.load() if journal is not None else {}
+    pending = [spec for spec in specs if spec.key() not in completed]
+
+    def journal_point(spec: RunSpec, result: ConfigResult) -> None:
+        if journal is not None:
+            journal.record(spec.key(), result)
+
+    fresh = fabric_run_many(pending, workers=workers, transport=transport,
+                            policy=policy, fabric=fabric, chaos=chaos,
+                            use_cache=use_cache, cache_dir=cache_dir,
+                            on_result=journal_point,
+                            coordinator=coordinator)
+    by_key = dict(completed)
+    for spec, result in zip(pending, fresh):
+        by_key[spec.key()] = result
+    return [by_key[spec.key()] for spec in specs]
+
+
+__all__ = [
+    "FabricCoordinator",
+    "FabricPolicy",
+    "TRANSPORTS",
+    "WorkerHealth",
+    "fabric_run_many",
+    "fabric_run_telemetry",
+    "fabric_sweep",
+]

@@ -1,0 +1,452 @@
+"""Coordinator-side worker transports: stdio subprocess pipes and TCP.
+
+A :class:`WorkerTransport` is the coordinator's handle on one remote
+worker: a framed byte channel (:mod:`repro.fabric.protocol`) plus
+lifecycle control.  Two concrete transports:
+
+- :class:`StdioTransport` spawns ``python -m repro.fabric.worker`` as a
+  child process and frames over its stdin/stdout pipes — zero
+  configuration, works anywhere a subprocess does, and the natural
+  first rung of the distributed ladder (the same shape mongodb-d4's
+  message-channel experiment API uses);
+- :class:`TcpTransport` frames over a connected socket accepted by a
+  :class:`TcpListener` — the "other hosts" rung.  The bundled launcher
+  still spawns local worker processes that dial back in (CI-friendly),
+  but the listener accepts any worker that completes the handshake.
+
+Each transport runs a daemon **reader thread** that decodes frames off
+the channel into a queue; :meth:`WorkerTransport.poll` drains that
+queue without blocking, returning message dicts interleaved with
+:class:`~repro.fabric.protocol.FrameError` (malformed frame — the
+quarantine signal) and :data:`CHANNEL_CLOSED` (EOF — the worker-lost
+signal).  ``close`` joins the child with a bounded timeout and
+escalates terminate → kill, so a wedged worker can never leak a zombie
+past the coordinator's teardown (the same bounded-teardown contract as
+:func:`repro.experiments.supervisor._kill_pool`).
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.fabric.protocol import FrameError, read_frame, write_frame
+
+#: Sentinel queued by the reader thread when the channel reaches EOF.
+CHANNEL_CLOSED = object()
+
+
+def _src_root() -> Path:
+    """The directory that must be on ``PYTHONPATH`` to import ``repro``."""
+    import repro
+
+    return Path(repro.__file__).resolve().parents[1]
+
+
+def worker_environment() -> dict:
+    """Spawn environment for a worker: parent env + importable ``repro``."""
+    env = dict(os.environ)
+    src = str(_src_root())
+    existing = env.get("PYTHONPATH")
+    if existing:
+        if src not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = src + os.pathsep + existing
+    else:
+        env["PYTHONPATH"] = src
+    return env
+
+
+def worker_command(worker_id: str,
+                   connect: Optional[str] = None,
+                   heartbeat_s: Optional[float] = None,
+                   chaos_json: Optional[str] = None,
+                   protocol: Optional[int] = None) -> list[str]:
+    """The ``python -m repro.fabric.worker`` argv for one worker.
+
+    ``connect`` (``host:port``) selects the TCP transport; without it
+    the worker frames over stdio.  ``protocol`` overrides the version
+    the worker claims in its hello — a test hook for the handshake's
+    rejection path.
+    """
+    command = [sys.executable, "-m", "repro.fabric.worker",
+               "--worker-id", worker_id]
+    if connect is not None:
+        command += ["--connect", connect]
+    if heartbeat_s is not None:
+        command += ["--heartbeat", str(heartbeat_s)]
+    if chaos_json:
+        command += ["--chaos", chaos_json]
+    if protocol is not None:
+        command += ["--protocol", str(protocol)]
+    return command
+
+
+class _FrameReaderThread(threading.Thread):
+    """Daemon thread decoding frames off a binary stream into a queue."""
+
+    def __init__(self, stream, frames: "queue.Queue"):
+        super().__init__(daemon=True, name="fabric-frame-reader")
+        self._stream = stream
+        self._frames = frames
+
+    def run(self) -> None:
+        """Decode frames until EOF or a malformed frame, then stop.
+
+        A :class:`FrameError` is queued and the thread exits: once the
+        framing is out of sync nothing later on the channel can be
+        trusted, so the coordinator quarantines the worker anyway.
+        """
+        while True:
+            try:
+                frame = read_frame(self._stream)
+            except FrameError as error:
+                self._frames.put(error)
+                return
+            except (OSError, ValueError):
+                # The descriptor was closed under the reader (teardown).
+                self._frames.put(CHANNEL_CLOSED)
+                return
+            if frame is None:
+                self._frames.put(CHANNEL_CLOSED)
+                return
+            self._frames.put(frame)
+
+
+class WorkerTransport:
+    """One framed channel to a worker, with bounded lifecycle control.
+
+    Subclasses provide the byte streams and process handle; this base
+    owns the reader thread, the send lock, and the teardown ladder.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._frames: "queue.Queue" = queue.Queue()
+        self._send_lock = threading.Lock()
+        self._reader: Optional[_FrameReaderThread] = None
+        self._closed = False
+        self._send_broken = False
+
+    # -- subclass surface ----------------------------------------------
+    def _read_stream(self):
+        """The binary stream frames are read from."""
+        raise NotImplementedError
+
+    def _write_stream(self):
+        """The binary stream frames are written to."""
+        raise NotImplementedError
+
+    def _process(self) -> Optional[subprocess.Popen]:
+        """The child process behind the channel, when there is one."""
+        return None
+
+    def _close_streams(self) -> None:
+        """Release the underlying channel resources (best-effort)."""
+
+    # -- coordinator surface -------------------------------------------
+    def start(self) -> None:
+        """Start the reader thread (idempotent)."""
+        if self._reader is None:
+            self._reader = _FrameReaderThread(self._read_stream(),
+                                              self._frames)
+            self._reader.start()
+
+    def send(self, message: dict) -> bool:
+        """Write one frame; False when the channel is already dead.
+
+        A send into a dead worker (EPIPE, closed socket) is an expected
+        race — the liveness machinery, not the send path, decides what
+        to do about a lost worker.
+        """
+        if self._closed or self._send_broken:
+            return False
+        try:
+            with self._send_lock:
+                write_frame(self._write_stream(), message)
+            return True
+        except (OSError, ValueError):
+            self._send_broken = True
+            return False
+
+    def poll(self) -> list:
+        """Drain everything the reader has queued, without blocking.
+
+        Items are message dicts, :class:`FrameError` instances
+        (malformed frame), or :data:`CHANNEL_CLOSED` (EOF).
+        """
+        drained = []
+        while True:
+            try:
+                drained.append(self._frames.get_nowait())
+            except queue.Empty:
+                return drained
+
+    def alive(self) -> bool:
+        """True while the underlying process (if any) is still running."""
+        if self._closed:
+            return False
+        process = self._process()
+        if process is not None:
+            return process.poll() is None
+        return not self._send_broken
+
+    def kill(self) -> None:
+        """Hard-kill the worker process (no-op without one)."""
+        process = self._process()
+        if process is not None:
+            try:
+                process.kill()
+            except OSError:  # pragma: no cover - already dead
+                pass
+
+    def describe(self) -> dict:
+        """Identity fields for events and health snapshots."""
+        process = self._process()
+        return {"transport": type(self).__name__,
+                "pid": process.pid if process is not None else None}
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Tear the channel down with a bounded join.
+
+        Terminate → bounded wait → kill → bounded wait, then close the
+        pipe/socket handles, so a hung worker cannot leak a zombie (or
+        an open descriptor) past coordinator teardown.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        process = self._process()
+        if process is not None and process.poll() is None:
+            try:
+                process.terminate()
+            except OSError:  # pragma: no cover - already dead
+                pass
+            try:
+                process.wait(timeout=timeout_s)
+            except subprocess.TimeoutExpired:
+                try:
+                    process.kill()
+                    process.wait(timeout=timeout_s)
+                except (OSError,
+                        subprocess.TimeoutExpired):  # pragma: no cover
+                    pass
+        self._close_streams()
+
+
+class StdioTransport(WorkerTransport):
+    """A worker child framed over its stdin/stdout pipes.
+
+    ``launch`` spawns ``python -m repro.fabric.worker`` with stderr
+    inherited (worker tracebacks surface in the parent's console/CI
+    log) and stdout reserved exclusively for frames — the worker
+    rebinds its own ``sys.stdout`` to stderr so stray prints cannot
+    corrupt the framing.
+    """
+
+    def __init__(self, name: str, process: subprocess.Popen):
+        super().__init__(name)
+        self.process = process
+        self.start()
+
+    @classmethod
+    def launch(cls, name: str,
+               heartbeat_s: Optional[float] = None,
+               chaos_json: Optional[str] = None,
+               protocol: Optional[int] = None) -> "StdioTransport":
+        """Spawn one stdio worker and wrap its pipes as a transport."""
+        process = subprocess.Popen(
+            worker_command(name, heartbeat_s=heartbeat_s,
+                           chaos_json=chaos_json, protocol=protocol),
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            env=worker_environment())
+        return cls(name, process)
+
+    def _read_stream(self):
+        return self.process.stdout
+
+    def _write_stream(self):
+        return self.process.stdin
+
+    def _process(self) -> Optional[subprocess.Popen]:
+        return self.process
+
+    def _close_streams(self) -> None:
+        for stream in (self.process.stdin, self.process.stdout):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+
+
+class TcpTransport(WorkerTransport):
+    """A worker framed over a connected TCP socket.
+
+    Built by :meth:`TcpListener.accept`; carries the socket plus (for
+    locally launched workers) the child process handle so ``kill`` and
+    the bounded ``close`` work exactly as for stdio workers.
+    """
+
+    def __init__(self, name: str, sock: socket.socket,
+                 process: Optional[subprocess.Popen] = None):
+        super().__init__(name)
+        self.sock = sock
+        self.process = process
+        self._rx = sock.makefile("rb")
+        self._tx = sock.makefile("wb")
+        self.start()
+
+    def _read_stream(self):
+        return self._rx
+
+    def _write_stream(self):
+        return self._tx
+
+    def _process(self) -> Optional[subprocess.Popen]:
+        return self.process
+
+    def alive(self) -> bool:
+        """True while the socket (and the child, if local) is usable."""
+        if self._closed or self._send_broken:
+            return False
+        if self.process is not None and self.process.poll() is not None:
+            return False
+        return True
+
+    def _close_streams(self) -> None:
+        for handle in (self._rx, self._tx):
+            try:
+                handle.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class TcpListener:
+    """The coordinator's accept socket for TCP workers.
+
+    Binds ``host:port`` (port 0 = ephemeral) at construction so the
+    bound :attr:`address` can be handed to workers before any of them
+    dial in.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) workers should connect to."""
+        return self._sock.getsockname()[:2]
+
+    @property
+    def connect_arg(self) -> str:
+        """The ``--connect host:port`` value for :func:`worker_command`."""
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def accept(self, timeout_s: float = 10.0,
+               name: str = "tcp-worker",
+               process: Optional[subprocess.Popen] = None) -> TcpTransport:
+        """Accept one connection and wrap it as a :class:`TcpTransport`.
+
+        Raises :class:`TimeoutError` when no worker dials in within
+        ``timeout_s`` — the caller treats that worker as lost at birth.
+        """
+        self._sock.settimeout(timeout_s)
+        try:
+            conn, _addr = self._sock.accept()
+        except socket.timeout:
+            raise TimeoutError(
+                f"no worker connected within {timeout_s:.1f}s")
+        finally:
+            self._sock.settimeout(None)
+        return TcpTransport(name, conn, process=process)
+
+    def close(self) -> None:
+        """Close the accept socket."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+def launch_stdio_workers(count: int,
+                         heartbeat_s: Optional[float] = None,
+                         chaos_json: Optional[str] = None
+                         ) -> list[StdioTransport]:
+    """Spawn ``count`` stdio workers named ``worker-0..N-1``."""
+    return [StdioTransport.launch(f"worker-{index}",
+                                  heartbeat_s=heartbeat_s,
+                                  chaos_json=chaos_json)
+            for index in range(count)]
+
+
+def launch_tcp_workers(count: int, listener: TcpListener,
+                       heartbeat_s: Optional[float] = None,
+                       chaos_json: Optional[str] = None,
+                       accept_timeout_s: float = 30.0
+                       ) -> list[TcpTransport]:
+    """Spawn ``count`` local TCP workers and accept them all.
+
+    Each child is launched with ``--connect`` pointing at the listener;
+    transports are returned in accept order (identity comes from the
+    hello frame, not the accept order).  Children that never dial in
+    are killed before the :class:`TimeoutError` propagates.
+    """
+    processes = [
+        subprocess.Popen(
+            worker_command(f"worker-{index}",
+                           connect=listener.connect_arg,
+                           heartbeat_s=heartbeat_s,
+                           chaos_json=chaos_json),
+            env=worker_environment())
+        for index in range(count)
+    ]
+    transports: list[TcpTransport] = []
+    deadline = time.monotonic() + accept_timeout_s
+    try:
+        for index in range(count):
+            remaining = max(0.1, deadline - time.monotonic())
+            transports.append(listener.accept(
+                timeout_s=remaining, name=f"tcp-{index}",
+                process=processes[index]))
+    except TimeoutError:
+        for process in processes:
+            if process.poll() is None:
+                process.kill()
+        raise
+    return transports
+
+
+def close_transports(transports: Sequence[WorkerTransport],
+                     timeout_s: float = 5.0) -> None:
+    """Close every transport with the bounded teardown ladder."""
+    for transport in transports:
+        transport.close(timeout_s=timeout_s)
+
+
+__all__ = [
+    "CHANNEL_CLOSED",
+    "StdioTransport",
+    "TcpListener",
+    "TcpTransport",
+    "WorkerTransport",
+    "close_transports",
+    "launch_stdio_workers",
+    "launch_tcp_workers",
+    "worker_command",
+    "worker_environment",
+]

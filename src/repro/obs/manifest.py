@@ -84,6 +84,11 @@ class RunManifest:
     platform: str = ""
     #: Pool width of the sweep this run belonged to (1 = serial).
     worker_count: int = 1
+    #: Fabric worker identity when the point ran on a remote worker
+    #: (:mod:`repro.fabric`); empty for local runs.  Descriptive, like
+    #: the host fields — never part of cache keys or comparisons.
+    worker_id: str = ""
+    worker_host: str = ""
     wall_time_s: float = 0.0
     cpu_time_s: float = 0.0
     fixed_point_rounds: int = 0

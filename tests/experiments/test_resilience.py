@@ -2,6 +2,7 @@
 
 import dataclasses
 import json
+import os
 from types import SimpleNamespace
 
 import pytest
@@ -304,6 +305,71 @@ class TestJournalTornLineRecovery:
         journal.load()
         assert journal.path.read_text() == before
         assert not journal.quarantine_path.exists()
+
+
+class TestJournalCrashConsistency:
+    """Truncated append then recovery, and the fsync-before-rename
+    ordering that makes the repair itself crash-safe."""
+
+    def test_truncated_append_recovers_then_keeps_recording(
+            self, tmp_path, result):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record("key-a", result)
+        journal.record("key-b", result)
+        # Simulate a crash that truncated the second append mid-write:
+        # the first record survives intact, the second is torn.
+        lines = journal.path.read_bytes().splitlines(keepends=True)
+        torn = lines[1][: len(lines[1]) // 2]
+        journal.path.write_bytes(lines[0] + torn)
+        recovered = SweepJournal(journal.path)
+        assert set(recovered.load()) == {"key-a"}
+        assert recovered.quarantined == 1
+        # The resume flow keeps appending to the compacted journal; the
+        # re-run of the torn point lands exactly once.
+        recovered.record("key-b", result)
+        assert set(recovered.load()) == {"key-a", "key-b"}
+        assert torn.decode() in recovered.quarantine_path.read_text()
+
+    def test_compaction_fsyncs_data_before_rename(self, tmp_path, result,
+                                                  monkeypatch):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record("key-a", result)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "key-b", "schema_ver')
+        calls = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            calls.append("fsync")
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            calls.append("replace")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        journal.load()
+        # Sidecar and compacted-tmp fsyncs precede the rename; the
+        # directory fsync follows it, so the repaired journal is durably
+        # *named* before any later append trusts its clean tail.
+        assert calls.count("replace") == 1
+        rename_at = calls.index("replace")
+        assert calls[:rename_at].count("fsync") >= 2
+        assert "fsync" in calls[rename_at + 1:]
+
+    def test_first_append_syncs_the_directory_entry(self, tmp_path, result,
+                                                    monkeypatch):
+        from repro.experiments import resilience as resilience_module
+
+        synced = []
+        monkeypatch.setattr(resilience_module, "_fsync_dir", synced.append)
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record("key-a", result)
+        assert synced == [tmp_path]
+        # Subsequent appends ride on the existing entry: data fsync only.
+        journal.record("key-b", result)
+        assert synced == [tmp_path]
 
 
 class TestCacheQuarantineSurfacing:

@@ -321,3 +321,105 @@ class TestDegradationTelemetry:
         finally:
             metrics_module.disable_metrics()
         assert registry.counters["runner.runs_finished"] == len(GRID)
+
+
+class TestBackoffPortability:
+    """backoff_delay must be a pure function of (key, attempt, policy) —
+    identical on every platform and process, because two coordinators
+    replaying the same failing sweep must back off identically."""
+
+    def test_pinned_literal_values(self):
+        # blake2b-seeded jitter is platform-independent; these literals
+        # pin the contract against hash/float drift across interpreters.
+        policy = SupervisorPolicy()  # base 0.05, factor 2.0, cap 2.0
+        assert backoff_delay("pinned-key", 1, policy) == \
+            pytest.approx(0.059465334029109765, abs=0, rel=1e-15)
+        assert backoff_delay("pinned-key", 2, policy) == \
+            pytest.approx(0.12398061597169135, abs=0, rel=1e-15)
+
+    def test_matches_recomputed_formula(self):
+        from repro.experiments.supervisor import _unit_hash
+
+        policy = SupervisorPolicy(base_backoff_s=0.1, backoff_factor=3.0,
+                                  max_backoff_s=0.5)
+        for attempt in (1, 2, 3, 7):
+            expected = (min(0.1 * 3.0 ** (attempt - 1), 0.5)
+                        + _unit_hash("backoff", "k", attempt) * 0.1)
+            assert backoff_delay("k", attempt, policy) == expected
+
+
+class TestSerialEnvWithShards:
+    """REPRO_SERIAL=1 must win over any --shards/--jobs request: shard
+    shapes are honored but every shard's job budget collapses to one
+    worker and execution never leaves the parent process."""
+
+    def test_effective_jobs_forced_to_one(self, monkeypatch):
+        from repro.experiments.parallel import effective_jobs
+
+        monkeypatch.setenv("REPRO_SERIAL", "1")
+        assert effective_jobs(8) == 1
+        assert effective_jobs(None) == 1
+
+    def test_default_shards_collapse_to_one_job_each(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERIAL", "1")
+        shards = default_shards(3, jobs=8)
+        assert len(shards) == 3
+        assert all(shard.jobs == 1 for shard in shards)
+
+    def test_sharded_supervisor_completes_serially(self, monkeypatch,
+                                                   serial_reference):
+        monkeypatch.setenv("REPRO_SERIAL", "1")
+        supervisor = ShardedSupervisor(shards=default_shards(3, jobs=8),
+                                       policy=FAST_POLICY, use_cache=False)
+        results = supervisor.run(make_specs())
+        assert canonical(results) == serial_reference
+        # the serial path never built a pool on any shard
+        assert all(shard.pool is None for shard in supervisor._shards)
+
+
+class TestPoolTeardown:
+    """_kill_pool must join terminated workers within a bound and
+    escalate to SIGKILL, so chaos teardowns never leak zombies."""
+
+    def test_sigterm_immune_worker_is_killed_and_joined(self):
+        import time as time_module
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.experiments.supervisor import _kill_pool
+
+        pool = ProcessPoolExecutor(max_workers=1)
+        pool.submit(_ignore_sigterm_and_sleep)
+        time_module.sleep(0.5)  # let the worker install its handler
+        processes = list(pool._processes.values())
+        start = time_module.monotonic()
+        _kill_pool(pool, join_timeout_s=1.0)
+        elapsed = time_module.monotonic() - start
+        assert elapsed < 5.0  # bounded, despite the immune worker
+        for process in processes:
+            assert not process.is_alive()
+            assert process.exitcode is not None  # joined, not a zombie
+
+    def test_shard_runtime_close_is_idempotent(self):
+        from repro.experiments.supervisor import _ShardRuntime
+
+        runtime = _ShardRuntime(ShardSpec("s0", jobs=1))
+        runtime.close()  # no pool yet: a no-op
+        from concurrent.futures import ProcessPoolExecutor
+
+        runtime.pool = ProcessPoolExecutor(max_workers=1)
+        runtime.pool.submit(int, 1).result()
+        processes = list(runtime.pool._processes.values())
+        runtime.close()
+        assert runtime.pool is None
+        for process in processes:
+            assert not process.is_alive()
+        runtime.close()  # second close: still a no-op
+
+
+def _ignore_sigterm_and_sleep():
+    """Pool worker that shrugs off SIGTERM (the kill-escalation test)."""
+    import signal
+    import time as time_module
+
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    time_module.sleep(60)

@@ -1,0 +1,135 @@
+"""Frame codec and chaos-policy unit tests for the fabric protocol:
+every schema violation must be a FrameError (the quarantine signal),
+clean EOF must be None, and chaos draws must be deterministic."""
+
+import io
+
+import pytest
+
+from repro.experiments.configs import FAST_SETTINGS
+from repro.experiments.parallel import RunSpec
+from repro.fabric.chaos import FABRIC_FAULTS, FabricChaosPolicy
+from repro.fabric.protocol import (
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameError,
+    decode_frame,
+    decode_spec,
+    encode_frame,
+    encode_spec,
+    read_frame,
+    validate_message,
+    write_frame,
+)
+
+HELLO = {"type": "hello", "worker_id": "w0", "protocol": PROTOCOL_VERSION,
+         "host": "h", "pid": 1}
+
+
+class TestFrameCodec:
+    def test_roundtrip_every_message_type(self):
+        messages = [
+            HELLO,
+            {"type": "welcome", "protocol": 1},
+            {"type": "reject", "reason": "nope"},
+            {"type": "lease", "lease_id": "L1", "key": "k", "attempt": 0,
+             "spec": "abc", "use_cache": True},
+            {"type": "result", "lease_id": "L1", "key": "k",
+             "result": {"tps": 1}, "checksum": "x"},
+            {"type": "error", "lease_id": "L1", "key": "k", "error": "boom"},
+            {"type": "heartbeat", "worker_id": "w0"},
+            {"type": "shutdown"},
+        ]
+        for message in messages:
+            frame = encode_frame(message)
+            assert decode_frame(frame[HEADER_BYTES:]) == message
+
+    def test_stream_roundtrip_preserves_order(self):
+        stream = io.BytesIO()
+        write_frame(stream, HELLO)
+        write_frame(stream, {"type": "shutdown"})
+        stream.seek(0)
+        assert read_frame(stream) == HELLO
+        assert read_frame(stream) == {"type": "shutdown"}
+        assert read_frame(stream) is None  # clean EOF
+
+    def test_extra_fields_pass_through(self):
+        message = {"type": "lease", "lease_id": "L1", "key": "k",
+                   "attempt": 0, "spec": "abc", "use_cache": False,
+                   "cache_dir": "/tmp/x"}
+        frame = encode_frame(message)
+        assert decode_frame(frame[HEADER_BYTES:])["cache_dir"] == "/tmp/x"
+
+    @pytest.mark.parametrize("message", [
+        "not a dict",
+        {},
+        {"type": "no-such-type"},
+        {"type": "hello", "worker_id": "w0"},  # missing fields
+        {"type": "hello", "worker_id": 7, "protocol": 1, "host": "h",
+         "pid": 1},  # wrong field type
+        {"type": "lease", "lease_id": "L1", "key": "k", "attempt": True,
+         "spec": "s", "use_cache": True},  # bool is not an int
+    ])
+    def test_schema_violations_raise(self, message):
+        with pytest.raises(FrameError):
+            validate_message(message)
+
+    def test_truncated_header_and_payload_raise(self):
+        frame = encode_frame(HELLO)
+        with pytest.raises(FrameError):
+            read_frame(io.BytesIO(frame[:2]))  # partial header
+        with pytest.raises(FrameError):
+            read_frame(io.BytesIO(frame[:-3]))  # partial payload
+
+    def test_absurd_length_and_garbage_json_raise(self):
+        huge = (MAX_FRAME_BYTES + 1).to_bytes(HEADER_BYTES, "big")
+        with pytest.raises(FrameError):
+            read_frame(io.BytesIO(huge + b"x"))
+        garbage = len(b"{oops").to_bytes(HEADER_BYTES, "big") + b"{oops"
+        with pytest.raises(FrameError):
+            read_frame(io.BytesIO(garbage))
+
+    def test_spec_roundtrip(self):
+        spec = RunSpec(warehouses=10, processors=1, settings=FAST_SETTINGS)
+        again = decode_spec(encode_spec(spec))
+        assert again == spec
+        assert again.key() == spec.key()
+
+    def test_spec_garbage_raises_frame_error(self):
+        with pytest.raises(FrameError):
+            decode_spec("!!! not base64 pickle !!!")
+
+
+class TestFabricChaosPolicy:
+    def test_draws_are_deterministic_and_attempt_gated(self):
+        policy = FabricChaosPolicy(seed=3, kill=0.25, blackhole=0.25,
+                                   corrupt=0.25, duplicate=0.25, attempts=1)
+        first = [policy.action(f"key-{i}", 0) for i in range(64)]
+        assert first == [policy.action(f"key-{i}", 0) for i in range(64)]
+        assert {a for a in first if a} <= set(FABRIC_FAULTS)
+        # every fault kind fires somewhere across 64 keys at sum=1.0
+        assert {a for a in first if a} == set(FABRIC_FAULTS)
+        # past the attempt gate, chaos never fires: retries converge
+        assert all(policy.action(f"key-{i}", 1) is None for i in range(64))
+
+    def test_targets_scope_the_blast_radius(self):
+        policy = FabricChaosPolicy(seed=0, kill=1.0, targets=("only-this",))
+        assert policy.action("only-this", 0) == "kill"
+        assert policy.action("something-else", 0) is None
+
+    def test_json_roundtrip(self):
+        policy = FabricChaosPolicy(seed=7, kill=0.5, duplicate=0.25,
+                                   attempts=2, delay_s=1.5,
+                                   targets=("a", "b"))
+        assert FabricChaosPolicy.from_json(policy.to_json()) == policy
+
+    @pytest.mark.parametrize("kwargs", [
+        {"kill": 1.5},
+        {"kill": 0.6, "blackhole": 0.6},  # probabilities sum > 1
+        {"attempts": -1},
+        {"delay_s": -0.1},
+    ])
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FabricChaosPolicy(**kwargs)

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""CI fabric chaos smoke: a distributed sweep survives a SIGKILLed worker.
+
+Run by the ``fabric-chaos-smoke`` CI job (and runnable locally):
+
+    PYTHONPATH=src python tools/fabric_chaos_smoke.py --out /tmp/fabric
+
+The script computes a small serial golden sweep, then re-runs the same
+grid through :class:`repro.fabric.FabricCoordinator` across three stdio
+worker subprocesses while a :class:`FabricChaosPolicy` SIGKILLs the
+worker holding the first point's lease.  It asserts:
+
+- the fabric results are **byte-identical** to the serial golden;
+- the degradation actually happened (``worker-lost`` plus
+  ``point-retry`` events) — a silently clean run would make the smoke
+  test vacuous;
+- the journal holds every point **exactly once** (the re-leased point
+  is deduplicated, not double-appended);
+- the fleet is fully reaped: every spawned worker process has exited.
+
+It then writes the per-worker degradation timeline (sweep report with
+fleet-health section), the raw event log, and the worker-health
+snapshot into ``--out`` for upload as a CI artifact.  Exit status 0
+means every assertion held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.experiments.configs import FAST_SETTINGS  # noqa: E402
+from repro.experiments.parallel import RunSpec  # noqa: E402
+from repro.experiments.supervisor import SupervisorPolicy  # noqa: E402
+from repro.experiments.runner import sweep  # noqa: E402
+from repro.fabric import (  # noqa: E402
+    FabricChaosPolicy,
+    FabricCoordinator,
+    FabricPolicy,
+    fabric_sweep,
+)
+from repro.obs.sweep_report import build_sweep_report  # noqa: E402
+
+GRID = (10, 25)
+PROCESSORS = 1
+WORKERS = 3
+
+
+def canonical(results) -> str:
+    """Bit-identity fingerprint: canonical JSON of every result."""
+    return json.dumps([r.to_dict() for r in results], sort_keys=True)
+
+
+def journal_keys(path: Path) -> list[str]:
+    """Config keys in journal append order (duplicates included)."""
+    return [json.loads(line)["key"]
+            for line in path.read_text().splitlines() if line.strip()]
+
+
+def main() -> int:
+    """Run the fabric chaos smoke; returns 0 when every assertion holds."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="/tmp/fabric-chaos-smoke",
+                        help="artifact directory (report + timelines)")
+    args = parser.parse_args()
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    print(f"[1/4] serial golden sweep: W={GRID} P={PROCESSORS}")
+    golden = sweep(GRID, PROCESSORS, settings=FAST_SETTINGS, use_cache=False)
+    golden_blob = canonical(golden)
+
+    specs = [RunSpec(warehouses=w, processors=PROCESSORS,
+                     settings=FAST_SETTINGS) for w in GRID]
+    victim = specs[0].key()
+    chaos = FabricChaosPolicy(seed=11, kill=1.0, attempts=1,
+                              targets=(victim,))
+    coordinator = FabricCoordinator(
+        policy=SupervisorPolicy(max_retries=3, base_backoff_s=0.01,
+                                max_backoff_s=0.05, tick_s=0.02),
+        fabric=FabricPolicy(workers=WORKERS, transport="stdio",
+                            heartbeat_s=0.1, heartbeat_timeout_s=1.5,
+                            tick_s=0.02),
+        chaos=chaos, use_cache=False)
+
+    print(f"[2/4] fabric sweep, {WORKERS} stdio workers, "
+          f"chaos SIGKILLs the worker holding {victim}")
+    journal = out / "journal.jsonl"
+    results = fabric_sweep(GRID, PROCESSORS, settings=FAST_SETTINGS,
+                           use_cache=False, journal=journal,
+                           coordinator=coordinator)
+
+    print("[3/4] checking invariants")
+    failures = []
+    if canonical(results) != golden_blob:
+        failures.append("fabric results differ from serial golden")
+    kinds = {event["event"] for event in coordinator.events}
+    if "worker-lost" not in kinds:
+        failures.append(f"no worker-lost event (saw {sorted(kinds)})")
+    if "point-retry" not in kinds:
+        failures.append(f"no point-retry event (saw {sorted(kinds)})")
+    keys = journal_keys(journal)
+    expected = sorted(spec.key() for spec in specs)
+    if sorted(keys) != expected:
+        failures.append(f"journal not exactly-once: {keys} vs {expected}")
+    health = coordinator.worker_health()
+    if [h.state for h in health].count("lost") != 1:
+        failures.append(f"expected exactly one lost worker, got "
+                        f"{[h.state for h in health]}")
+    for runtime in coordinator._workers:
+        process = getattr(runtime.transport, "process", None)
+        if process is not None and process.poll() is None:
+            failures.append(f"worker {runtime.name} not reaped")
+
+    print("[4/4] writing per-worker degradation timeline")
+    report = build_sweep_report(
+        [], title="Fabric chaos smoke — sweep under injected worker "
+        "SIGKILL", events=coordinator.events, workers=health)
+    (out / "fabric-report.md").write_text(report.to_markdown(),
+                                          encoding="utf-8")
+    (out / "events.json").write_text(
+        json.dumps(coordinator.events, indent=2, sort_keys=True),
+        encoding="utf-8")
+    (out / "worker-health.json").write_text(
+        json.dumps([vars(h) for h in health], indent=2, sort_keys=True,
+                   default=str),
+        encoding="utf-8")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print(f"fabric chaos smoke clean: {len(coordinator.events)} fabric "
+          f"event(s), journal exactly-once, results bit-identical to "
+          f"serial golden; artifacts in {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
