@@ -53,6 +53,7 @@ from repro.obs import tracing as _tracing
 from repro.obs.manifest import RunManifest, environment_fields
 from repro.odb.system import OdbConfig, OdbSystem
 from repro.sim.randomness import RandomStreams
+from repro.sim.scheduler import scheduler_name_from_env
 
 #: Process-wide default result cache, created lazily by
 #: :func:`default_cache` (honoring ``REPRO_CACHE_DIR``).  Injectable:
@@ -294,6 +295,7 @@ def run_configuration(warehouses: int, processors: int,
         cpu_time_s=time.process_time() - started_cpu,
         fixed_point_rounds=settings.fixed_point_rounds,
         tracing_enabled=_tracing.tracing_enabled(),
+        scheduler=scheduler_name_from_env(),
         round_deltas=round_deltas,
         **environment_fields(),
     )

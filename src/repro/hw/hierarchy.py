@@ -242,6 +242,315 @@ class SmpHierarchy:
         """Run one branch through the predictor, counting the outcome."""
         self.cpus[cpu].branch(pc, taken, kernel)
 
+    # -- batched reference walks --------------------------------------------
+    #
+    # The three *_run entry points below are the trace generator's fast
+    # path (DESIGN.md §13): one call walks a whole precomputed run of
+    # references through the hierarchy with the cache/TLB dict operations
+    # inlined and every counter accumulated in locals, flushed once at
+    # the end.  They are required to be *bit-identical* to issuing the
+    # same references one at a time through data_access/fetch/branch —
+    # same state evolution, same counter totals — which the hw test
+    # suite checks by replaying identical streams through both paths.
+
+    def access_run(self, cpu: int, run: list, kernel: bool) -> None:
+        """Walk packed data references on ``cpu`` in one pass.
+
+        Each entry packs one reference as ``(address << 2) | write << 1
+        | shared`` — ``kernel`` is constant per run because the trace
+        generator batches at segment granularity (a user segment or a
+        kernel burst, never a mix).  Streaks of hits never leave the
+        inlined probe loop; only misses descend into the L3/eviction/
+        coherence slow path.
+        """
+        hierarchy = self.cpus[cpu]
+        counts = hierarchy.counts
+        tlb_cache = hierarchy.dtlb._cache
+        tlb_sets = tlb_cache._sets
+        tlb_shift = tlb_cache._line_shift
+        tlb_nsets = tlb_cache._num_sets
+        tlb_ways = tlb_cache._ways
+        l2 = hierarchy.l2
+        l2_sets = l2._sets
+        l2_shift = l2._line_shift
+        l2_nsets = l2._num_sets
+        l2_ways = l2._ways
+        l3 = hierarchy.l3
+        l3_sets = l3._sets
+        l3_nsets = l3._num_sets
+        l3_ways = l3._ways
+        multi = self.processors > 1
+        directory = self.directory
+        note_read = directory.note_read
+        note_write = directory.note_write
+        # Local accumulators: Table 2 split counts for this run...
+        tlb_missed_refs = l2_missed_refs = l3_missed_refs = 0
+        l3_writeback_refs = coherence_refs = 0
+        # ...and the per-cache statistics attributes.
+        t_hits = t_misses = t_evictions = 0
+        l2_hits = l2_misses = l2_evictions = l2_writebacks = 0
+        l2_invalidations = 0
+        l3_accesses = l3_hits = l3_misses = l3_evictions = l3_writebacks = 0
+        # Hit-streak short-circuits: a reference to the page/line the
+        # previous reference touched is a guaranteed hit on an entry
+        # that is already most-recent, so the pop/reinsert LRU dance is
+        # the identity — skip it (a write may still need to set the
+        # dirty bit; in-place assignment keeps the LRU position).  The
+        # directory can only invalidate *other* CPUs' lines from this
+        # run, so the streak line cannot vanish mid-run.
+        last_page = -1
+        last_line = -1
+        for code in run:
+            address = code >> 2
+            # DTLB probe (page granularity; translations are never dirty).
+            page = address >> tlb_shift
+            if page == last_page:
+                t_hits += 1
+            else:
+                last_page = page
+                tlb_set = tlb_sets[page % tlb_nsets]
+                if tlb_set.pop(page, None) is not None:
+                    t_hits += 1
+                    tlb_set[page] = False
+                else:
+                    t_misses += 1
+                    tlb_missed_refs += 1
+                    if len(tlb_set) >= tlb_ways:
+                        del tlb_set[next(iter(tlb_set))]
+                        t_evictions += 1
+                    tlb_set[page] = False
+            # L2 probe (L2 and L3 share a line size: one line id).
+            write = code & 2
+            line = address >> l2_shift
+            if line == last_line:
+                l2_hits += 1
+                l3_missed = False
+                if write:
+                    l2_sets[line % l2_nsets][line] = True
+            else:
+                last_line = line
+                l2_set = l2_sets[line % l2_nsets]
+                dirty = l2_set.pop(line, None)
+                if dirty is not None:
+                    l2_hits += 1
+                    l2_set[line] = dirty or write != 0
+                    l3_missed = False
+                else:
+                    l2_misses += 1
+                    l2_missed_refs += 1
+                    if len(l2_set) >= l2_ways:
+                        victim = next(iter(l2_set))
+                        if l2_set.pop(victim):
+                            l2_writebacks += 1
+                        l2_evictions += 1
+                    l2_set[line] = write != 0
+                    # L3 access, with victim info for inclusion.
+                    l3_accesses += 1
+                    l3_set = l3_sets[line % l3_nsets]
+                    dirty = l3_set.pop(line, None)
+                    if dirty is not None:
+                        l3_hits += 1
+                        l3_set[line] = dirty or write != 0
+                        l3_missed = False
+                    else:
+                        l3_misses += 1
+                        l3_missed_refs += 1
+                        l3_missed = True
+                        if len(l3_set) >= l3_ways:
+                            victim = next(iter(l3_set))
+                            if l3_set.pop(victim):
+                                l3_writebacks += 1
+                                l3_writeback_refs += 1
+                            l3_evictions += 1
+                            # Inclusive hierarchy: drop the L2 copy too.
+                            victim_set = l2_sets[victim % l2_nsets]
+                            if victim in victim_set:
+                                del victim_set[victim]
+                                l2_invalidations += 1
+                        l3_set[line] = write != 0
+            if multi and code & 1:
+                if write:
+                    if note_write(cpu, line, l3_missed):
+                        coherence_refs += 1
+                elif note_read(cpu, line, l3_missed):
+                    coherence_refs += 1
+        refs = len(run)
+        if kernel:
+            counts.data_refs.kernel += refs
+            counts.tlb_misses.kernel += tlb_missed_refs
+            counts.l2_misses.kernel += l2_missed_refs
+            counts.l3_misses.kernel += l3_missed_refs
+            counts.l3_writebacks.kernel += l3_writeback_refs
+            counts.coherence_misses.kernel += coherence_refs
+        else:
+            counts.data_refs.user += refs
+            counts.tlb_misses.user += tlb_missed_refs
+            counts.l2_misses.user += l2_missed_refs
+            counts.l3_misses.user += l3_missed_refs
+            counts.l3_writebacks.user += l3_writeback_refs
+            counts.coherence_misses.user += coherence_refs
+        tlb_cache.accesses += refs
+        tlb_cache.hits += t_hits
+        tlb_cache.misses += t_misses
+        tlb_cache.evictions += t_evictions
+        l2.accesses += refs
+        l2.hits += l2_hits
+        l2.misses += l2_misses
+        l2.evictions += l2_evictions
+        l2.writebacks += l2_writebacks
+        l2.invalidations += l2_invalidations
+        l3.accesses += l3_accesses
+        l3.hits += l3_hits
+        l3.misses += l3_misses
+        l3.evictions += l3_evictions
+        l3.writebacks += l3_writebacks
+
+    def fetch_run(self, cpu: int, run: list, kernel: bool) -> None:
+        """Walk a run of instruction-fetch byte addresses in one pass.
+
+        Code is read-shared, so no coherence; TC misses fill through
+        L2/L3 exactly as :meth:`CpuHierarchy.fetch` does.
+        """
+        hierarchy = self.cpus[cpu]
+        counts = hierarchy.counts
+        tc = hierarchy.tc
+        tc_sets = tc._sets
+        tc_shift = tc._line_shift
+        tc_nsets = tc._num_sets
+        tc_ways = tc._ways
+        l2 = hierarchy.l2
+        l2_sets = l2._sets
+        l2_shift = l2._line_shift
+        l2_nsets = l2._num_sets
+        l2_ways = l2._ways
+        l3 = hierarchy.l3
+        l3_sets = l3._sets
+        l3_nsets = l3._num_sets
+        l3_ways = l3._ways
+        tc_missed_refs = l2_missed_refs = l3_missed_refs = 0
+        l3_writeback_refs = 0
+        tc_hits = tc_misses = tc_evictions = 0
+        l2_accesses = l2_hits = l2_misses = l2_evictions = l2_writebacks = 0
+        l2_invalidations = 0
+        l3_accesses = l3_hits = l3_misses = l3_evictions = l3_writebacks = 0
+        # Hit-streak short-circuit (same argument as access_run): a
+        # refetch of the line just fetched is a hit on the MRU entry,
+        # so the LRU pop/reinsert is the identity.
+        last_tc = -1
+        for address in run:
+            tc_line = address >> tc_shift
+            if tc_line == last_tc:
+                tc_hits += 1
+                continue
+            last_tc = tc_line
+            tc_set = tc_sets[tc_line % tc_nsets]
+            if tc_set.pop(tc_line, None) is not None:
+                tc_hits += 1
+                tc_set[tc_line] = False
+                continue
+            tc_misses += 1
+            tc_missed_refs += 1
+            if len(tc_set) >= tc_ways:
+                del tc_set[next(iter(tc_set))]
+                tc_evictions += 1
+            tc_set[tc_line] = False
+            # Fill from L2/L3 (unified: code rides the data counters).
+            l2_accesses += 1
+            line = address >> l2_shift
+            l2_set = l2_sets[line % l2_nsets]
+            dirty = l2_set.pop(line, None)
+            if dirty is not None:
+                l2_hits += 1
+                l2_set[line] = dirty
+                continue
+            l2_misses += 1
+            l2_missed_refs += 1
+            if len(l2_set) >= l2_ways:
+                victim = next(iter(l2_set))
+                if l2_set.pop(victim):
+                    l2_writebacks += 1
+                l2_evictions += 1
+            l2_set[line] = False
+            l3_accesses += 1
+            l3_set = l3_sets[line % l3_nsets]
+            dirty = l3_set.pop(line, None)
+            if dirty is not None:
+                l3_hits += 1
+                l3_set[line] = dirty
+                continue
+            l3_misses += 1
+            l3_missed_refs += 1
+            if len(l3_set) >= l3_ways:
+                victim = next(iter(l3_set))
+                if l3_set.pop(victim):
+                    l3_writebacks += 1
+                    l3_writeback_refs += 1
+                l3_evictions += 1
+                victim_set = l2_sets[victim % l2_nsets]
+                if victim in victim_set:
+                    del victim_set[victim]
+                    l2_invalidations += 1
+            l3_set[line] = False
+        refs = len(run)
+        if kernel:
+            counts.code_refs.kernel += refs
+            counts.tc_misses.kernel += tc_missed_refs
+            counts.l2_misses.kernel += l2_missed_refs
+            counts.l3_misses.kernel += l3_missed_refs
+            counts.l3_writebacks.kernel += l3_writeback_refs
+        else:
+            counts.code_refs.user += refs
+            counts.tc_misses.user += tc_missed_refs
+            counts.l2_misses.user += l2_missed_refs
+            counts.l3_misses.user += l3_missed_refs
+            counts.l3_writebacks.user += l3_writeback_refs
+        tc.accesses += refs
+        tc.hits += tc_hits
+        tc.misses += tc_misses
+        tc.evictions += tc_evictions
+        l2.accesses += l2_accesses
+        l2.hits += l2_hits
+        l2.misses += l2_misses
+        l2.evictions += l2_evictions
+        l2.writebacks += l2_writebacks
+        l2.invalidations += l2_invalidations
+        l3.accesses += l3_accesses
+        l3.hits += l3_hits
+        l3.misses += l3_misses
+        l3.evictions += l3_evictions
+        l3.writebacks += l3_writebacks
+
+    def branch_run(self, cpu: int, run: list, kernel: bool) -> None:
+        """Walk packed branches ``(site << 1) | taken`` in one pass."""
+        hierarchy = self.cpus[cpu]
+        counts = hierarchy.counts
+        predictor = hierarchy.predictor
+        table = predictor._table
+        size = predictor.table_size
+        mispredicted = 0
+        for code in run:
+            index = (code >> 1) % size
+            state = table[index]
+            if code & 1:
+                if state < 2:
+                    mispredicted += 1
+                if state < 3:
+                    table[index] = state + 1
+            else:
+                if state >= 2:
+                    mispredicted += 1
+                if state > 0:
+                    table[index] = state - 1
+        refs = len(run)
+        predictor.predictions += refs
+        predictor.mispredictions += mispredicted
+        if kernel:
+            counts.branches.kernel += refs
+            counts.mispredicts.kernel += mispredicted
+        else:
+            counts.branches.user += refs
+            counts.mispredicts.user += mispredicted
+
     def context_switch(self, cpu: int) -> None:
         """Apply context-switch perturbation to TLBs and caches."""
         self.cpus[cpu].context_switch()

@@ -215,12 +215,16 @@ class TraceGenerator:
 
     # -- address pickers ----------------------------------------------------
 
-    # The segment loops below alias bound methods and parameters into
-    # locals and sample CDFs with bisect_left directly: they execute for
-    # every simulated reference (millions per configuration), and
-    # attribute lookups plus helper-call overhead dominated their cost.
-    # Every rng draw happens in exactly the order of the straightforward
-    # formulation, so the generated stream is bit-identical.
+    # The segment methods below run in two batched phases (DESIGN.md
+    # §13): a *generation* pass draws every random number in exactly the
+    # order of the straightforward per-access formulation and packs the
+    # resulting references into a flat run buffer (plain ints: address
+    # plus flag bits — no per-access tuples or method calls), then a
+    # single *walk* call (:meth:`repro.hw.hierarchy.SmpHierarchy.access_run`
+    # and friends) replays the run through the cache models with the
+    # probe loops inlined.  Both phases preserve the reference order, so
+    # the cache state evolution — and therefore every count — is
+    # bit-identical to the per-access path.
 
     def _pick(self, base: int, cdf, rng) -> int:
         return base + sample_cdf(rng, cdf) * _LINE
@@ -245,54 +249,99 @@ class TraceGenerator:
         p = self.params
         rng = self._rng
         rand = rng.random
+        # randrange draws are inlined as CPython's
+        # Random._randbelow_with_getrandbits loop — identical getrandbits
+        # sequence (the stream stays pinned), minus two interpreter
+        # frames per draw; _pick_block_address is inlined the same way.
+        getrandbits = rng.getrandbits
         recent = self._recent
-        data_access = self.smp.data_access
-        pick_block = self._pick_block_address
         hot_cdf = self._hot_cdf
         warm_cdf = self._warm_cdf
         private_cdf = self._private_cdf
+        hot_block_cdf = self._hot_block_cdf
         p_hot = p.p_hot
         p_hot_warm = p.p_hot + p.p_warm
         p_hot_warm_block = p_hot_warm + p.p_block
+        hot_write_prob = p.hot_write_prob
+        warm_write_prob = p.warm_write_prob
+        block_write_prob = p.block_write_prob
+        private_write_prob = p.private_write_prob
         revisit_prob = p.revisit_prob
+        hot_block_prob = p.hot_block_prob
+        wh_count = self.profile.warehouses
+        wh_bits = wh_count.bit_length()
+        hot_per_wh = p.hot_blocks_per_warehouse
+        cold_per_wh = p.cold_blocks_per_warehouse
+        cold_bits = cold_per_wh.bit_length()
+        lines_per_block = p.lines_per_block
+        line_bits = lines_per_block.bit_length()
         private_base = _PRIVATE_BASE + client * (p.private_lines * 2) * _LINE
+        # Generation pass: pack (address << 2) | write << 1 | shared.
+        run: list[int] = []
+        append = run.append
         for _ in range(count):
             if recent and rand() < revisit_prob:
-                address = recent[rng.randrange(len(recent))]
-                data_access(cpu, address, False, False)
+                size = len(recent)
+                size_bits = size.bit_length()
+                pick = getrandbits(size_bits)
+                while pick >= size:
+                    pick = getrandbits(size_bits)
+                append(recent[pick] << 2)
                 continue
             u = rand()
             if u < p_hot:
                 address = _HOT_BASE + bisect_left(hot_cdf, rand()) * _LINE
-                data_access(cpu, address, rand() < p.hot_write_prob, False,
-                            shared=True)
+                append((address << 2)
+                       | (2 if rand() < hot_write_prob else 0) | 1)
             elif u < p_hot_warm:
                 address = _WARM_BASE + bisect_left(warm_cdf, rand()) * _LINE
-                data_access(cpu, address, rand() < p.warm_write_prob, False,
-                            shared=True)
+                append((address << 2)
+                       | (2 if rand() < warm_write_prob else 0) | 1)
             elif u < p_hot_warm_block:
-                address = pick_block(rng)
-                data_access(cpu, address, rand() < p.block_write_prob, False)
+                warehouse = getrandbits(wh_bits)
+                while warehouse >= wh_count:
+                    warehouse = getrandbits(wh_bits)
+                if rand() < hot_block_prob:
+                    block_id = (warehouse * hot_per_wh
+                                + bisect_left(hot_block_cdf, rand()))
+                    region = 0
+                else:
+                    block = getrandbits(cold_bits)
+                    while block >= cold_per_wh:
+                        block = getrandbits(cold_bits)
+                    block_id = warehouse * cold_per_wh + block
+                    region = 1 << 38   # cold blocks live far from hot
+                line = getrandbits(line_bits)
+                while line >= lines_per_block:
+                    line = getrandbits(line_bits)
+                address = (_BLOCK_BASE + region
+                           + (block_id * lines_per_block + line) * _LINE)
+                append((address << 2)
+                       | (2 if rand() < block_write_prob else 0))
                 recent.append(address)
                 if len(recent) > 24:
                     recent.pop(0)
             else:
                 address = (private_base
                            + bisect_left(private_cdf, rand()) * _LINE)
-                data_access(cpu, address, rand() < p.private_write_prob, False)
+                append((address << 2)
+                       | (2 if rand() < private_write_prob else 0))
+        if run:
+            self.smp.access_run(cpu, run, False)
 
     def _user_code_segment(self, cpu: int, count: int) -> None:
         rand = self._rng.random
-        fetch = self.smp.fetch
         cdf = self._user_code_cdf
-        for _ in range(count):
-            index = bisect_left(cdf, rand())
-            fetch(cpu, _USER_CODE_BASE + index * _CODE_LINE, False)
+        run = [_USER_CODE_BASE + bisect_left(cdf, rand()) * _CODE_LINE
+               for _ in range(count)]
+        if run:
+            self.smp.fetch_run(cpu, run, False)
 
     def _branches(self, cpu: int, count: int) -> None:
         rand = self._rng.random
-        branch = self.smp.branch
         cdf = self._user_code_cdf
+        run: list[int] = []
+        append = run.append
         for _ in range(count):
             site = bisect_left(cdf, rand())
             # Per-site taken bias, stable across the run: mostly strongly
@@ -307,36 +356,42 @@ class TraceGenerator:
                 taken_prob = 0.88
             else:
                 taken_prob = 0.55
-            branch(cpu, site, rand() < taken_prob, False)
+            append((site << 1) | (1 if rand() < taken_prob else 0))
+        if run:
+            self.smp.branch_run(cpu, run, False)
 
     def _kernel_burst(self, cpu: int, refs: int, slab_refs: int = 0,
                       task_client: int | None = None) -> None:
         p = self.params
         rng = self._rng
         rand = rng.random
-        data_access = self.smp.data_access
         kernel_cdf = self._kernel_cdf
+        run: list[int] = []
+        append = run.append
         for _ in range(refs):
             address = (_KERNEL_DATA_BASE
                        + bisect_left(kernel_cdf, rand()) * _LINE)
-            data_access(cpu, address, rand() < 0.3, True)
+            append((address << 2) | (2 if rand() < 0.3 else 0))
         for _ in range(slab_refs):
             # Recycled per-request slab objects: hit when recently reused.
             self._slab_seq += 1
             line = self._slab_seq % p.os_slab_pool_lines
-            address = _KERNEL_COLD_BASE + line * _LINE
-            data_access(cpu, address, True, True)
+            append(((_KERNEL_COLD_BASE + line * _LINE) << 2) | 2)
         if task_client is not None:
             base = (_KERNEL_TASK_BASE
                     + task_client * p.os_task_lines_per_client * _LINE)
             for _ in range(p.os_task_refs_per_cs):
                 offset = rng.randrange(p.os_task_lines_per_client)
-                data_access(cpu, base + offset * _LINE, rand() < 0.4, True)
-        fetch = self.smp.fetch
+                append(((base + offset * _LINE) << 2)
+                       | (2 if rand() < 0.4 else 0))
+        if run:
+            self.smp.access_run(cpu, run, True)
         kernel_code_cdf = self._kernel_code_cdf
-        for _ in range(p.os_code_refs_per_burst):
-            index = bisect_left(kernel_code_cdf, rand())
-            fetch(cpu, _KERNEL_CODE_BASE + index * _CODE_LINE, True)
+        code_run = [
+            _KERNEL_CODE_BASE + bisect_left(kernel_code_cdf, rand()) * _CODE_LINE
+            for _ in range(p.os_code_refs_per_burst)]
+        if code_run:
+            self.smp.fetch_run(cpu, code_run, True)
 
     # -- driving ------------------------------------------------------------
 

@@ -33,7 +33,9 @@ from repro.osmodel.disks import DiskArray
 from repro.osmodel.kernelcost import KernelCosts
 from repro.osmodel.scheduler import Scheduler
 from repro.sim import Engine
+from repro.sim.engine import publish_scheduler_metrics
 from repro.sim.randomness import RandomStreams
+from repro.sim.scheduler import HeapScheduler
 from repro.sim.stats import Counter
 
 #: A real database block: a buffer-cache miss is one physical read of
@@ -218,17 +220,24 @@ class OdbSystem:
 
         steady_state_fill(self.buffer_cache, self.space)
         rng = self.streams.stream("prewarm")
+        # Hot loop (thousands of plan replays before the DES even
+        # starts): alias the per-plan callees once.
+        pick_profile = self.mix.pick
+        cache = self.buffer_cache
+        lookup = cache.lookup
+        touch_write = cache.touch_write
+        install = cache.install
+        sampler = self.sampler
+        warehouses = self.config.warehouses
+        remote_prob = self.config.remote_touch_prob
         for _ in range(plans):
-            profile = self.mix.pick(rng)
-            plan = plan_transaction(rng, profile, self.sampler,
-                                    self.config.warehouses,
-                                    self.config.remote_touch_prob)
+            plan = plan_transaction(rng, pick_profile(rng), sampler,
+                                    warehouses, remote_prob)
             for block_id, write in plan.touches:
-                hit = (self.buffer_cache.touch_write(block_id) if write
-                       else self.buffer_cache.lookup(block_id))
+                hit = touch_write(block_id) if write else lookup(block_id)
                 if not hit:
-                    self.buffer_cache.install(block_id, dirty=write)
-        self.buffer_cache.reset_stats()
+                    install(block_id, dirty=write)
+        cache.reset_stats()
 
     # -- measurement -----------------------------------------------------------
 
@@ -256,17 +265,33 @@ class OdbSystem:
     def _run_until_transactions(self, target: int, time_limit_s: float) -> None:
         # The commit count must be re-checked before every event (an
         # overshoot would shift the measurement snapshot), so the loop
-        # cannot batch; aliasing the counter, heap, and step keeps the
-        # per-event overhead down.
+        # cannot batch.  The heap scheduler gets an inlined heappop loop
+        # (this is the DES hot loop; a method call per event was a
+        # measurable cost); other schedulers go through their pop_due
+        # method, which batches slot pours internally.
         engine = self.engine
-        heap = engine._heap
+        sched = engine._sched
         counter = self.db.transactions
         deadline = engine.now + time_limit_s
-        pop = heappop
-        while counter.count < target and heap and heap[0][0] <= deadline:
-            when, _priority, _seq, event = pop(heap)
-            engine._now = when
-            event._process()
+        if type(sched) is HeapScheduler:
+            heap = sched._heap
+            pop = heappop
+            while counter.count < target and heap and heap[0][0] <= deadline:
+                when, _priority, _seq, event = pop(heap)
+                if event._dead:
+                    sched._dead -= 1
+                    sched.skipped_dead += 1
+                    continue
+                engine._now = when
+                event._process()
+            return
+        pop_due = sched.pop_due
+        while counter.count < target:
+            entry = pop_due(deadline)
+            if entry is None:
+                break
+            engine._now = entry[0]
+            entry[3]._process()
 
     def run(self, warmup_txns: int = 500, measure_txns: int = 2000,
             prewarm_plans: int = 4000,
@@ -296,11 +321,13 @@ class OdbSystem:
         if _metrics.ACTIVE:
             # DES totals at the phase boundary (the measurement loop
             # itself stays untouched): what the engine retired and how
-            # much simulated time it covered.
+            # much simulated time it covered, plus the scheduler's
+            # cumulative queue counters (once per engine lifetime).
             _metrics.inc("engine.des_runs")
             _metrics.inc("engine.transactions",
                          after["transactions"] - before["transactions"])
             _metrics.inc("engine.sim_time_s", self.engine.now)
+            publish_scheduler_metrics(self.engine.scheduler)
         return self._metrics(before, after)
 
     def _metrics(self, before: dict[str, float],

@@ -9,11 +9,12 @@ transaction and a user path length that does not depend on W.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from random import Random
 
 from repro.db.blocks import BlockSpace
-from repro.sim.randomness import sample_cdf, zipf_cdf
+from repro.sim.randomness import zipf_cdf
 
 
 @dataclass(frozen=True)
@@ -181,13 +182,24 @@ def _raw_abort_weight(profile: TransactionProfile) -> float:
 
 
 class _SegmentSampler:
-    """Cached Zipf CDFs per (segment, skew) for block picking."""
+    """Cached Zipf CDFs per (segment, skew) for block picking.
+
+    ``pick`` runs once per planned touch — hundreds of thousands of
+    times per configuration — so everything derivable from the spec
+    alone (the CDF, the segment's unit count, the block-id base and
+    stride) is resolved once into a per-spec plan and the hot call
+    reduces to one ``rng.random()`` draw, a bisect, and one add chain.
+    The draw order is identical to the direct formulation: exactly one
+    uniform sample per touch.
+    """
 
     def __init__(self, space: BlockSpace):
         self.space = space
         self._cdfs: dict[tuple[str, float], list[float]] = {}
+        #: spec -> (cdf, modulus-or-0, per-warehouse stride-or-0, offset).
+        self._plans: dict[TouchSpec, tuple] = {}
 
-    def pick(self, rng: Random, spec: TouchSpec, warehouse: int) -> int:
+    def _plan(self, spec: TouchSpec) -> tuple:
         segment = self.space.segment(spec.segment)
         if spec.append_hot:
             # A rolling append window: the hottest ~2% of the segment
@@ -198,15 +210,34 @@ class _SegmentSampler:
             if cdf is None:
                 cdf = zipf_cdf(window, 1.2)
                 self._cdfs[key] = cdf
-            index = sample_cdf(rng, cdf) % segment.units
+            modulus = segment.units
         else:
             key = (spec.segment, spec.skew)
             cdf = self._cdfs.get(key)
             if cdf is None:
                 cdf = zipf_cdf(segment.units, spec.skew)
                 self._cdfs[key] = cdf
-            index = sample_cdf(rng, cdf)
-        return self.space.block_id(spec.segment, warehouse, index)
+            modulus = 0
+        space = self.space
+        if segment.per_warehouse:
+            stride = space.units_per_warehouse
+            offset = space.global_units + space._wh_offsets[spec.segment]
+        else:
+            stride = 0
+            offset = space._global_offsets[spec.segment]
+        plan = (cdf, modulus, stride, offset)
+        self._plans[spec] = plan
+        return plan
+
+    def pick(self, rng: Random, spec: TouchSpec, warehouse: int) -> int:
+        plan = self._plans.get(spec)
+        if plan is None:
+            plan = self._plan(spec)
+        cdf, modulus, stride, offset = plan
+        index = bisect_left(cdf, rng.random())
+        if modulus:
+            index %= modulus
+        return offset + stride * warehouse + index
 
 
 def plan_transaction(rng: Random, profile: TransactionProfile,
@@ -218,8 +249,18 @@ def plan_transaction(rng: Random, profile: TransactionProfile,
     warehouse (TPC-C's remote order lines / customer payments).
     """
     space = sampler.space
-    warehouse = rng.randrange(warehouses)
-    district = rng.randrange(10)
+    # The randrange draws are inlined as CPython's
+    # Random._randbelow_with_getrandbits loop (k = n.bit_length(),
+    # redraw while >= n): same getrandbits sequence, so the stream stays
+    # pinned, minus two interpreter frames per draw.
+    getrandbits = rng.getrandbits
+    wh_bits = warehouses.bit_length()
+    warehouse = getrandbits(wh_bits)
+    while warehouse >= warehouses:
+        warehouse = getrandbits(wh_bits)
+    district = getrandbits(4)
+    while district >= 10:
+        district = getrandbits(4)
     lock_keys: list[tuple] = []
     if profile.locks_warehouse_row:
         lock_keys.append(("wh", warehouse))
@@ -228,14 +269,30 @@ def plan_transaction(rng: Random, profile: TransactionProfile,
         # updates contend per warehouse (Oracle buffer-level contention),
         # which is what makes tiny databases switch-heavy.
         lock_keys.append(("dist", warehouse))
+    # Hot loop: the sampler's per-spec plan is resolved once per spec,
+    # not once per touch, and the pick is inlined (one uniform draw, a
+    # bisect, an add chain) — draw order identical to sampler.pick.
     touches: list[tuple[int, bool]] = []
+    append = touches.append
+    rand = rng.random
+    plans = sampler._plans
+    multi = warehouses > 1
     for spec in profile.touches:
+        plan = plans.get(spec)
+        if plan is None:
+            plan = sampler._plan(spec)
+        cdf, modulus, stride, offset = plan
+        write_prob = spec.write_prob
         for _ in range(spec.count):
             target = warehouse
-            if warehouses > 1 and rng.random() < remote_prob:
-                target = rng.randrange(warehouses)
-            block = sampler.pick(rng, spec, target)
-            touches.append((block, rng.random() < spec.write_prob))
+            if multi and rand() < remote_prob:
+                target = getrandbits(wh_bits)
+                while target >= warehouses:
+                    target = getrandbits(wh_bits)
+            index = bisect_left(cdf, rand())
+            if modulus:
+                index %= modulus
+            append((offset + stride * target + index, rand() < write_prob))
     return TransactionPlan(
         profile=profile,
         warehouse=warehouse,

@@ -14,6 +14,10 @@ Public surface:
 - :class:`~repro.sim.resources.Resource`,
   :class:`~repro.sim.resources.Store`,
   :class:`~repro.sim.resources.Gate` — contention primitives.
+- :mod:`~repro.sim.scheduler` — pluggable event queues
+  (:class:`~repro.sim.scheduler.HeapScheduler`,
+  :class:`~repro.sim.scheduler.CalendarScheduler`), selected via
+  ``Engine(scheduler=...)`` or ``REPRO_SCHED``.
 - :mod:`~repro.sim.randomness` — named, independently seeded RNG streams.
 - :mod:`~repro.sim.stats` — time-weighted statistics helpers.
 """
@@ -22,10 +26,20 @@ from repro.sim.engine import Engine, Event, Timeout, AllOf, AnyOf, SimulationErr
 from repro.sim.process import Process, Interrupt
 from repro.sim.resources import Resource, Store, Gate
 from repro.sim.randomness import RandomStreams
+from repro.sim.scheduler import (
+    CalendarScheduler,
+    HeapScheduler,
+    make_scheduler,
+    scheduler_name_from_env,
+)
 from repro.sim.stats import TimeWeighted, Tally, Counter
 
 __all__ = [
     "Engine",
+    "HeapScheduler",
+    "CalendarScheduler",
+    "make_scheduler",
+    "scheduler_name_from_env",
     "Event",
     "Timeout",
     "AllOf",

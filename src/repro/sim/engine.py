@@ -1,19 +1,23 @@
 """Event loop and clock for the discrete-event simulation kernel.
 
-The engine keeps a binary heap of ``(time, priority, sequence, event)``
-tuples.  Each :class:`Event` carries a list of callbacks that fire when the
-event is processed; :class:`~repro.sim.process.Process` resumption is just
-another callback.  The design mirrors simpy's core but is intentionally
-smaller: no real-time support, no nested environments.
+The engine keeps ``(time, priority, sequence, event)`` entries in a
+pluggable scheduler (:mod:`repro.sim.scheduler`): a binary heap by
+default, or a calendar queue selected via ``Engine(scheduler=...)`` or
+the ``REPRO_SCHED`` environment variable.  Each :class:`Event` carries a
+list of callbacks that fire when the event is processed;
+:class:`~repro.sim.process.Process` resumption is just another callback.
+The design mirrors simpy's core but is intentionally smaller: no
+real-time support, no nested environments.
 """
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heappop
 from typing import Any, Callable, Iterable, Optional
 
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
+from repro.sim.scheduler import HeapScheduler, make_scheduler
 
 #: Priority for events that must run before ordinary events at the same time
 #: (used internally for process interrupts).
@@ -30,12 +34,15 @@ class Event:
     """A waitable, one-shot occurrence on the simulation timeline.
 
     An event has three observable states: *pending* (created, not yet
-    triggered), *triggered* (scheduled on the engine's heap with a value),
-    and *processed* (callbacks have run).  Processes wait on events by
-    yielding them.
+    triggered), *triggered* (scheduled on the engine's scheduler with a
+    value), and *processed* (callbacks have run).  Processes wait on
+    events by yielding them.  A triggered event can be
+    :meth:`cancel`-ed, which removes it from the timeline without
+    processing (lazy: the scheduler skips it at pop time).
     """
 
-    __slots__ = ("engine", "callbacks", "_value", "_ok", "_triggered", "_processed")
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_triggered",
+                 "_processed", "_dead")
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
@@ -44,6 +51,7 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._processed = False
+        self._dead = False
 
     @property
     def triggered(self) -> bool:
@@ -54,6 +62,11 @@ class Event:
     def processed(self) -> bool:
         """True once the event's callbacks have run."""
         return self._processed
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event has been discarded via :meth:`cancel`."""
+        return self._dead
 
     @property
     def ok(self) -> bool:
@@ -88,12 +101,34 @@ class Event:
         self.engine._schedule(self, delay=0.0, priority=priority)
         return self
 
+    def cancel(self) -> None:
+        """Discard a triggered-but-unprocessed event from the timeline.
+
+        The scheduled entry stays queued but is skipped (and eventually
+        compacted away) by the scheduler — callbacks never run and the
+        clock never advances for it.  Cancelling twice is a no-op;
+        cancelling a processed event is an error, as is cancelling an
+        event that was never scheduled.
+        """
+        if self._processed:
+            raise SimulationError("cannot cancel a processed event")
+        if not self._triggered:
+            raise SimulationError("cannot cancel an untriggered event")
+        if self._dead:
+            return
+        self._dead = True
+        self.callbacks.clear()
+        self.engine._sched.note_dead()
+
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Run ``callback(event)`` when the event is processed.
 
         If the event has already been processed the callback runs
-        immediately, so late waiters are never lost.
+        immediately, so late waiters are never lost.  Waiting on a
+        cancelled event is an error: the callback could never fire.
         """
+        if self._dead:
+            raise SimulationError("cannot wait on a cancelled event")
         if self._processed:
             callback(self)
         else:
@@ -106,8 +141,9 @@ class Event:
             callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "processed" if self._processed else (
-            "triggered" if self._triggered else "pending")
+        state = ("cancelled" if self._dead else
+                 "processed" if self._processed else
+                 "triggered" if self._triggered else "pending")
         return f"<{type(self).__name__} {state}>"
 
 
@@ -186,6 +222,12 @@ class AnyOf(_Condition):
 class Engine:
     """The simulation event loop.
 
+    ``scheduler`` selects the event-queue implementation: ``None``
+    consults the ``REPRO_SCHED`` environment variable (default
+    ``heap``), a string names one (``"heap"`` / ``"calendar"``), and a
+    scheduler instance is used as-is.  Dispatch order — and therefore
+    every simulation result — is identical across implementations.
+
     >>> engine = Engine()
     >>> def proc(engine):
     ...     yield engine.timeout(5.0)
@@ -196,15 +238,19 @@ class Engine:
     5.0
     """
 
-    def __init__(self) -> None:
+    def __init__(self, scheduler=None) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, int, Event]] = []
-        self._sequence = 0
+        self._sched = make_scheduler(scheduler)
 
     @property
     def now(self) -> float:
         """Current simulation time."""
         return self._now
+
+    @property
+    def scheduler(self):
+        """The event-queue implementation (telemetry via ``snapshot()``)."""
+        return self._sched
 
     # -- event factories ---------------------------------------------------
 
@@ -233,20 +279,19 @@ class Engine:
     # -- scheduling --------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
-        self._sequence += 1
-        heappush(self._heap, (self._now + delay, priority, self._sequence, event))
+        self._sched.schedule(self._now + delay, priority, event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._sched.peek()
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._heap:
+        entry = self._sched.pop()
+        if entry is None:
             raise SimulationError("step() on an empty schedule")
-        when, _priority, _seq, event = heappop(self._heap)
-        self._now = when
-        event._process()
+        self._now = entry[0]
+        entry[3]._process()
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the schedule drains or the clock reaches ``until``.
@@ -255,28 +300,56 @@ class Engine:
         even if the last event fires earlier, so time-weighted statistics
         close their final interval consistently.
         """
-        # The pop/process cycle is inlined from step(): this loop retires
-        # every event of a simulation, and the extra method call plus
-        # double heap inspection per event were a measurable DES cost.
-        # Tracing and metrics take the separate instrumented loop below
-        # so the disabled path stays exactly as fast (two flag reads per
-        # run() call, nothing per event).
+        # The pop/process cycle is specialized per scheduler: this loop
+        # retires every event of a simulation, and per-event method-call
+        # overhead is a measurable DES cost, so the heap path inlines
+        # heappop directly (with the lazy-cancellation skip).  Tracing
+        # and metrics take the separate instrumented loop below so the
+        # disabled path stays exactly as fast (two flag reads per run()
+        # call, nothing per event).
         if _tracing.ACTIVE or _metrics.ACTIVE:
             self._run_traced(until)
             return
-        heap = self._heap
-        if until is None:
-            while heap:
+        if until is not None and until < self._now:
+            raise ValueError(f"run(until={until}) is in the past (now={self._now})")
+        sched = self._sched
+        if type(sched) is HeapScheduler:
+            heap = sched._heap
+            if until is None:
+                while heap:
+                    when, _priority, _seq, event = heappop(heap)
+                    if event._dead:
+                        sched._dead -= 1
+                        sched.skipped_dead += 1
+                        continue
+                    self._now = when
+                    event._process()
+                return
+            while heap and heap[0][0] <= until:
                 when, _priority, _seq, event = heappop(heap)
+                if event._dead:
+                    sched._dead -= 1
+                    sched.skipped_dead += 1
+                    continue
                 self._now = when
                 event._process()
+            self._now = until
             return
-        if until < self._now:
-            raise ValueError(f"run(until={until}) is in the past (now={self._now})")
-        while heap and heap[0][0] <= until:
-            when, _priority, _seq, event = heappop(heap)
-            self._now = when
-            event._process()
+        if until is None:
+            pop = sched.pop
+            while True:
+                entry = pop()
+                if entry is None:
+                    return
+                self._now = entry[0]
+                entry[3]._process()
+        pop_due = sched.pop_due
+        while True:
+            entry = pop_due(until)
+            if entry is None:
+                break
+            self._now = entry[0]
+            entry[3]._process()
         self._now = until
 
     def _run_traced(self, until: Optional[float]) -> None:
@@ -285,28 +358,35 @@ class Engine:
         Same semantics as the fast path; additionally records the
         number of events retired and the simulated-time interval
         covered — into the open span when tracing is on, and into the
-        metrics registry (``engine.*`` counters) when metrics are on.
-        Only entered when :data:`repro.obs.tracing.ACTIVE` or
+        metrics registry (``engine.*`` and ``scheduler.*`` counters)
+        when metrics are on.  Only entered when
+        :data:`repro.obs.tracing.ACTIVE` or
         :data:`repro.obs.metrics.ACTIVE`.
         """
-        heap = self._heap
+        if until is not None and until < self._now:
+            raise ValueError(
+                f"run(until={until}) is in the past (now={self._now})")
+        sched = self._sched
         events = 0
         started_at = self._now
         with _tracing.span("des-event-loop") as span:
             if until is None:
-                while heap:
-                    when, _priority, _seq, event = heappop(heap)
-                    self._now = when
-                    event._process()
+                pop = sched.pop
+                while True:
+                    entry = pop()
+                    if entry is None:
+                        break
+                    self._now = entry[0]
+                    entry[3]._process()
                     events += 1
             else:
-                if until < self._now:
-                    raise ValueError(
-                        f"run(until={until}) is in the past (now={self._now})")
-                while heap and heap[0][0] <= until:
-                    when, _priority, _seq, event = heappop(heap)
-                    self._now = when
-                    event._process()
+                pop_due = sched.pop_due
+                while True:
+                    entry = pop_due(until)
+                    if entry is None:
+                        break
+                    self._now = entry[0]
+                    entry[3]._process()
                     events += 1
                 self._now = until
             if span is not None:
@@ -316,3 +396,24 @@ class Engine:
             _metrics.inc("engine.runs")
             _metrics.inc("engine.events", events)
             _metrics.inc("engine.sim_time_s", self._now - started_at)
+
+
+def publish_scheduler_metrics(scheduler) -> None:
+    """Publish a scheduler's counters into the active metrics registry.
+
+    One ``scheduler.*`` counter per :meth:`snapshot` field (the queue
+    implementation name becomes a ``scheduler.<name>.runs`` counter so
+    sweep reports can tell which implementation produced the numbers).
+    Counters are cumulative per scheduler, so this must be called once
+    per engine lifetime — the DES phase boundary in
+    :meth:`repro.odb.system.OdbSystem.run` — never per ``run()`` call.
+    """
+    if not _metrics.ACTIVE:
+        return
+    snap = scheduler.snapshot()
+    name = snap.pop("scheduler")
+    _metrics.inc(f"scheduler.{name}.runs")
+    for field in ("scheduled", "dispatched", "skipped_dead",
+                  "compactions", "resizes"):
+        _metrics.inc(f"scheduler.{field}", snap[field])
+    _metrics.gauge("scheduler.max_depth", snap["max_depth"])

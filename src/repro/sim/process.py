@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Generator
 
 from repro.obs import tracing as _tracing
-from repro.sim.engine import URGENT, Engine, Event, SimulationError
+from repro.sim.engine import URGENT, Engine, Event, SimulationError, Timeout
 
 
 class Interrupt(Exception):
@@ -66,6 +66,13 @@ class Process(Event):
             except ValueError:
                 pass
             self._waiting_on = None
+            # An interrupted sleep leaves its Timeout orphaned on the
+            # schedule: nobody waits on it anymore, so cancel it and let
+            # the scheduler's lazy-cancellation compaction reclaim the
+            # entry instead of carrying it until its deadline pops.
+            if (isinstance(waiting_on, Timeout) and not waiting_on.callbacks
+                    and not waiting_on.processed):
+                waiting_on.cancel()
         failer = Event(self.engine)
         failer.add_callback(self._resume)
         failer._triggered = True

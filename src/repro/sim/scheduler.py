@@ -1,0 +1,445 @@
+"""Pluggable DES schedulers: the event queue behind :class:`~repro.sim.engine.Engine`.
+
+The engine needs one thing from its scheduler: entries pushed as
+``(time, priority, sequence, event)`` tuples come back in exactly
+ascending tuple order.  Two implementations provide it:
+
+- :class:`HeapScheduler` — the classic binary heap (``heapq``).  Simple,
+  C-accelerated, and the default; every operation is O(log n).
+- :class:`CalendarScheduler` — a calendar-queue variant with O(1)
+  amortized enqueue for far-future events.  Time is divided into
+  fixed-width slots; events beyond the *horizon* land in per-slot
+  unsorted buckets (an O(1) list append), and only the slot currently
+  being drained is heap-ordered.  When the near heap empties, the next
+  non-empty slot is *poured* in one pass (``heapify``), which is the
+  slot-based wakeup batching: a slot's events are ordered once, together,
+  instead of paying per-event ``heappush`` rebalancing.  The slot width
+  adapts to the observed event density (see :meth:`CalendarScheduler._pour`).
+
+Both schedulers implement *lazy cancellation*: an entry whose event was
+:meth:`~repro.sim.engine.Event.cancel`-ed stays queued but is skipped at
+pop time, and when dead entries outnumber live ones the queue is
+compacted in one pass.  This bounds the queue length under workloads
+that schedule and abandon many timeouts (lock-wait deadlines, races
+between a completion and its timeout).
+
+Dispatch order is **identical** across implementations — entries come
+back in strict ``(time, priority, sequence)`` order either way — so the
+committed goldens are bit-identical under both.  Selection: pass a name
+or instance to ``Engine(scheduler=...)``, or set ``REPRO_SCHED=heap`` /
+``REPRO_SCHED=calendar`` in the environment (inherited by parallel-pool
+and fabric workers, so sweeps pick it up everywhere).
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heapify, heappop, heappush
+from typing import Optional
+
+#: Environment variable selecting the engine's scheduler implementation.
+SCHED_ENV = "REPRO_SCHED"
+
+#: Dead entries tolerated before a compaction pass is considered; below
+#: this the bookkeeping cost outweighs the memory saved.
+_COMPACT_MIN_DEAD = 64
+
+_INF = float("inf")
+
+
+def scheduler_name_from_env() -> str:
+    """The scheduler name selected by ``REPRO_SCHED`` (default ``heap``).
+
+    Unknown values raise immediately — a sweep silently falling back to
+    the default would invalidate a perf comparison.
+    """
+    name = os.environ.get(SCHED_ENV, "heap").strip().lower() or "heap"
+    if name not in ("heap", "calendar"):
+        raise ValueError(
+            f"{SCHED_ENV}={name!r}: expected 'heap' or 'calendar'")
+    return name
+
+
+def make_scheduler(choice=None):
+    """Resolve ``Engine(scheduler=...)``: None/str/instance → instance.
+
+    ``None`` consults :func:`scheduler_name_from_env`; a string names an
+    implementation; anything with a ``schedule`` attribute is taken as a
+    ready-made scheduler instance (dependency injection for tests).
+    """
+    if choice is None:
+        choice = scheduler_name_from_env()
+    if isinstance(choice, str):
+        name = choice.strip().lower()
+        if name == "heap":
+            return HeapScheduler()
+        if name == "calendar":
+            return CalendarScheduler()
+        raise ValueError(f"unknown scheduler {choice!r}: "
+                         "expected 'heap' or 'calendar'")
+    if hasattr(choice, "schedule"):
+        return choice
+    raise TypeError(f"scheduler must be None, a name, or a scheduler "
+                    f"instance, got {choice!r}")
+
+
+class HeapScheduler:
+    """The binary-heap event queue (default; matches the original engine).
+
+    The heap holds ``(time, priority, sequence, event)`` tuples; the
+    sequence counter lives here so ties break in scheduling order.  Dead
+    (cancelled) entries are skipped at pop time and compacted away when
+    they outnumber live entries.
+    """
+
+    name = "heap"
+
+    __slots__ = ("_heap", "_sequence", "_dead", "skipped_dead",
+                 "compactions", "resizes", "max_depth")
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._sequence = 0
+        self._dead = 0
+        self.skipped_dead = 0
+        self.compactions = 0
+        #: Heap schedulers never rebucket; kept for a uniform snapshot.
+        self.resizes = 0
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._heap) - self._dead
+
+    def schedule(self, when: float, priority: int, event) -> None:
+        """Insert ``event`` at ``when``; ties break in insertion order."""
+        self._sequence += 1
+        heap = self._heap
+        heappush(heap, (when, priority, self._sequence, event))
+        if len(heap) > self.max_depth:
+            self.max_depth = len(heap)
+
+    def peek(self) -> float:
+        """Time of the next live entry, or ``inf`` when drained."""
+        heap = self._heap
+        while heap:
+            if heap[0][3]._dead:
+                heappop(heap)
+                self._dead -= 1
+                self.skipped_dead += 1
+                continue
+            return heap[0][0]
+        return _INF
+
+    def pop(self) -> Optional[tuple]:
+        """Next live entry in ``(time, priority, sequence)`` order."""
+        heap = self._heap
+        while heap:
+            entry = heappop(heap)
+            if entry[3]._dead:
+                self._dead -= 1
+                self.skipped_dead += 1
+                continue
+            return entry
+        return None
+
+    def pop_due(self, deadline: float) -> Optional[tuple]:
+        """Like :meth:`pop`, but ``None`` when the next live entry is
+        after ``deadline`` (the entry stays queued)."""
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[3]._dead:
+                heappop(heap)
+                self._dead -= 1
+                self.skipped_dead += 1
+                continue
+            if head[0] > deadline:
+                return None
+            return heappop(heap)
+        return None
+
+    def note_dead(self) -> None:
+        """Record one cancellation; compacts when the dead dominate."""
+        self._dead += 1
+        if (self._dead >= _COMPACT_MIN_DEAD
+                and self._dead * 2 > len(self._heap)):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop every dead entry in one pass (heap order restored)."""
+        if not self._dead:
+            return
+        live = [entry for entry in self._heap if not entry[3]._dead]
+        self.skipped_dead += len(self._heap) - len(live)
+        heapify(live)
+        self._heap = live
+        self._dead = 0
+        self.compactions += 1
+
+    def snapshot(self) -> dict:
+        """Telemetry counters (see :mod:`repro.obs.metrics` publishing)."""
+        return {
+            "scheduler": self.name,
+            "scheduled": self._sequence,
+            "dispatched": self._sequence - self.skipped_dead
+            - len(self._heap),
+            "skipped_dead": self.skipped_dead,
+            "pending": len(self),
+            "max_depth": self.max_depth,
+            "compactions": self.compactions,
+            "resizes": self.resizes,
+        }
+
+
+class CalendarScheduler:
+    """A calendar-queue scheduler: slot buckets + a heap-ordered near slot.
+
+    Layout (DESIGN.md §13):
+
+    - ``_near`` — a small heap holding every entry with time below the
+      current *horizon*.  Pops come from here, so ordering is exact.
+    - ``_far`` — ``{slot_index: [entries]}`` unsorted buckets for entries
+      at or beyond the horizon; enqueue is a list append, O(1).
+    - ``_slots`` — a heap of occupied slot indices, so advancing skips
+      empty slots in O(log S) instead of spinning across them.
+
+    When ``_near`` drains, the earliest occupied slot is poured: its
+    bucket is heapified wholesale and the horizon advances to the slot's
+    end.  A new event always lands either under the horizon (into
+    ``_near``) or in a future slot, never in an already-poured one, so
+    the global ``(time, priority, sequence)`` order is preserved exactly.
+
+    The slot width starts at :attr:`INITIAL_WIDTH` and adapts: a pour
+    bigger than :attr:`SPLIT_THRESHOLD` halves the width, more than
+    :attr:`MERGE_PATIENCE` consecutive single-entry pours doubles it.
+    Resizing rebuckets the far entries in one pass (counted in
+    ``resizes``; rare by construction).
+    """
+
+    name = "calendar"
+
+    #: Starting slot width in simulated seconds.  The DES workloads here
+    #: schedule milliseconds-apart events; the adaptive resize converges
+    #: from this within a few pours either way.
+    INITIAL_WIDTH = 1.0 / 1024.0
+    #: Pour size that triggers a width halving.
+    SPLIT_THRESHOLD = 64
+    #: Consecutive single-entry pours that trigger a width doubling.
+    MERGE_PATIENCE = 32
+    #: Width guard rails: resizing stops rather than over-adapt.
+    MIN_WIDTH = 1e-9
+    MAX_WIDTH = 1e6
+
+    __slots__ = ("_near", "_far", "_slots", "_width", "_horizon",
+                 "_sequence", "_dead", "_queued", "_sparse_pours",
+                 "skipped_dead", "compactions", "resizes", "max_depth")
+
+    def __init__(self, width: Optional[float] = None) -> None:
+        if width is not None and width <= 0:
+            raise ValueError("slot width must be positive")
+        self._near: list = []
+        self._far: dict[int, list] = {}
+        self._slots: list = []
+        self._width = float(width) if width is not None else self.INITIAL_WIDTH
+        self._horizon = 0.0
+        self._sequence = 0
+        self._dead = 0
+        #: Entries currently queued (near + far, dead included) — kept as
+        #: a running count so cancellation-pressure checks stay O(1)
+        #: instead of summing every bucket.
+        self._queued = 0
+        self._sparse_pours = 0
+        self.skipped_dead = 0
+        self.compactions = 0
+        self.resizes = 0
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        return self._queued - self._dead
+
+    @property
+    def width(self) -> float:
+        """Current slot width in simulated seconds."""
+        return self._width
+
+    def schedule(self, when: float, priority: int, event) -> None:
+        """Insert ``event`` at ``when``; O(1) beyond the horizon."""
+        self._sequence += 1
+        self._queued += 1
+        entry = (when, priority, self._sequence, event)
+        if when < self._horizon:
+            heappush(self._near, entry)
+            if len(self._near) > self.max_depth:
+                self.max_depth = len(self._near)
+            return
+        slot = int(when / self._width)
+        bucket = self._far.get(slot)
+        if bucket is None:
+            self._far[slot] = [entry]
+            heappush(self._slots, slot)
+        else:
+            bucket.append(entry)
+
+    def _pour(self) -> bool:
+        """Advance to the next occupied slot; False when fully drained.
+
+        Pours the slot's bucket into the near heap in one ``heapify``
+        pass and moves the horizon to the slot's end — the batched
+        wakeup step.  Also the adaptive-resize observation point: pours
+        are where bucket sizes become visible.
+        """
+        far = self._far
+        if not far:
+            return False
+        slots = self._slots
+        slot = heappop(slots)
+        bucket = far.pop(slot)
+        self._horizon = (slot + 1) * self._width
+        near = self._near
+        if near:
+            near.extend(bucket)
+            heapify(near)
+        else:
+            heapify(bucket)
+            self._near = near = bucket
+        if len(near) > self.max_depth:
+            self.max_depth = len(near)
+        poured = len(bucket)
+        if poured >= self.SPLIT_THRESHOLD and self._width > self.MIN_WIDTH:
+            self._resize(self._width / 2.0)
+            self._sparse_pours = 0
+        elif poured <= 1:
+            self._sparse_pours += 1
+            if (self._sparse_pours >= self.MERGE_PATIENCE
+                    and self._width < self.MAX_WIDTH and far):
+                self._resize(self._width * 2.0)
+                self._sparse_pours = 0
+        else:
+            self._sparse_pours = 0
+        return True
+
+    def _resize(self, width: float) -> None:
+        """Rebucket every far entry under a new slot width (one pass)."""
+        old = self._far
+        self._width = width
+        # The horizon must sit on a slot boundary of the new width so a
+        # poured slot can never reopen: round it up.
+        boundary = int(self._horizon / width)
+        if boundary * width < self._horizon:
+            boundary += 1
+        self._horizon = boundary * width
+        far: dict[int, list] = {}
+        near = self._near
+        for bucket in old.values():
+            for entry in bucket:
+                if entry[0] < self._horizon:
+                    heappush(near, entry)
+                    continue
+                slot = int(entry[0] / width)
+                other = far.get(slot)
+                if other is None:
+                    far[slot] = [entry]
+                else:
+                    other.append(entry)
+        self._far = far
+        self._slots = sorted(far)
+        self.resizes += 1
+
+    def peek(self) -> float:
+        """Time of the next live entry, or ``inf`` when drained."""
+        near = self._near
+        while True:
+            while near and near[0][3]._dead:
+                heappop(near)
+                self._dead -= 1
+                self._queued -= 1
+                self.skipped_dead += 1
+            if near:
+                return near[0][0]
+            if not self._pour():
+                return _INF
+            near = self._near
+
+    def pop(self) -> Optional[tuple]:
+        """Next live entry in ``(time, priority, sequence)`` order."""
+        near = self._near
+        while True:
+            while near:
+                entry = heappop(near)
+                self._queued -= 1
+                if entry[3]._dead:
+                    self._dead -= 1
+                    self.skipped_dead += 1
+                    continue
+                return entry
+            if not self._pour():
+                return None
+            near = self._near
+
+    def pop_due(self, deadline: float) -> Optional[tuple]:
+        """Like :meth:`pop`, but ``None`` when the next live entry is
+        after ``deadline`` (the entry stays queued)."""
+        near = self._near
+        while True:
+            while near:
+                head = near[0]
+                if head[3]._dead:
+                    heappop(near)
+                    self._dead -= 1
+                    self._queued -= 1
+                    self.skipped_dead += 1
+                    continue
+                if head[0] > deadline:
+                    return None
+                self._queued -= 1
+                return heappop(near)
+            if not self._pour():
+                return None
+            near = self._near
+
+    def note_dead(self) -> None:
+        """Record one cancellation; compacts when the dead dominate."""
+        self._dead += 1
+        if (self._dead >= _COMPACT_MIN_DEAD
+                and self._dead * 2 > self._queued):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop every dead entry from the near heap and all buckets."""
+        if not self._dead:
+            return
+        dropped = 0
+        live = [entry for entry in self._near if not entry[3]._dead]
+        dropped += len(self._near) - len(live)
+        heapify(live)
+        self._near = live
+        empty_slots = []
+        for slot, bucket in self._far.items():
+            kept = [entry for entry in bucket if not entry[3]._dead]
+            dropped += len(bucket) - len(kept)
+            if kept:
+                self._far[slot] = kept
+            else:
+                empty_slots.append(slot)
+        if empty_slots:
+            for slot in empty_slots:
+                del self._far[slot]
+            self._slots = sorted(self._far)
+        self.skipped_dead += dropped
+        self._queued -= dropped
+        self._dead = 0
+        self.compactions += 1
+
+    def snapshot(self) -> dict:
+        """Telemetry counters (see :mod:`repro.obs.metrics` publishing)."""
+        queued = self._queued
+        return {
+            "scheduler": self.name,
+            "scheduled": self._sequence,
+            "dispatched": self._sequence - self.skipped_dead - queued,
+            "skipped_dead": self.skipped_dead,
+            "pending": queued - self._dead,
+            "max_depth": self.max_depth,
+            "compactions": self.compactions,
+            "resizes": self.resizes,
+        }

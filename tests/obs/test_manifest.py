@@ -115,3 +115,15 @@ class TestRunnerIntegration:
                                    use_cache=False, cache=cache)
         assert result.system.tps > 0
         assert last_manifest() is not None
+
+
+class TestSchedulerField:
+    def test_default_scheduler_recorded(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCHED", raising=False)
+        run_configuration(10, 1, settings=FAST_SETTINGS, use_cache=False)
+        assert last_manifest().scheduler == "heap"
+
+    def test_env_selected_scheduler_recorded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHED", "calendar")
+        run_configuration(10, 1, settings=FAST_SETTINGS, use_cache=False)
+        assert last_manifest().scheduler == "calendar"

@@ -198,3 +198,46 @@ class TestPublishing:
             disable_metrics()
         assert result.to_dict() == golden, (
             "metrics publishing perturbed the simulation")
+
+
+class TestSchedulerPublishing:
+    def test_publish_scheduler_metrics_counters(self):
+        from repro.sim import Engine
+        from repro.sim.engine import publish_scheduler_metrics
+
+        registry = enable_metrics()
+        try:
+            engine = Engine(scheduler="heap")
+            for delay in (1.0, 2.0, 3.0):
+                engine.timeout(delay)
+            engine.timeout(4.0).cancel()
+            engine.run()
+            publish_scheduler_metrics(engine.scheduler)
+        finally:
+            disable_metrics()
+        counters = registry.counters
+        assert counters["scheduler.heap.runs"] == 1.0
+        assert counters["scheduler.scheduled"] == 4.0
+        assert counters["scheduler.dispatched"] == 3.0
+        assert counters["scheduler.skipped_dead"] == 1.0
+        assert registry.gauges["scheduler.max_depth"] >= 3.0
+
+    def test_publish_is_noop_when_disabled(self):
+        from repro.sim import Engine
+        from repro.sim.engine import publish_scheduler_metrics
+
+        publish_scheduler_metrics(Engine().scheduler)  # must not raise
+
+    def test_run_publishes_scheduler_counters(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHED", "calendar")
+        registry = enable_metrics()
+        try:
+            run_configuration(10, 1, settings=FAST_SETTINGS,
+                              use_cache=False)
+        finally:
+            disable_metrics()
+        counters = registry.counters
+        assert counters["scheduler.calendar.runs"] >= 1.0
+        assert counters["scheduler.scheduled"] > 0
+        assert counters["scheduler.dispatched"] > 0
+        assert "scheduler.max_depth" in registry.gauges
