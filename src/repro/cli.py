@@ -14,6 +14,9 @@
     python -m repro report --sweep -p 4      # traced sweep -> one report
     python -m repro trace export -p 4 --grid 10,100   # Chrome trace JSON
     python -m repro trace validate t.json    # trace_event schema check
+    python -m repro workload list            # shipped scenario library
+    python -m repro workload show banking    # one scenario, spelled out
+    python -m repro workload validate [spec.yaml ...]  # spec validation
     python -m repro docs regen [--check]     # regenerate doc blocks
     python -m repro clear-cache              # drop cached sweep results
 
@@ -21,6 +24,12 @@
 same settings the test suite uses).  ``--faults plan.json`` injects a
 :class:`repro.faults.FaultPlan` (degraded disks, log stalls, lock
 storms, transient aborts) into ``run``, ``sweep``, and ``report``.
+``--workload <name|path>`` selects a declarative workload
+(:mod:`repro.workload`; a shipped scenario name or a YAML/JSON spec
+file) on every simulating command — specs are provenance-tracked
+through cache keys and run manifests, and ``odb-standard`` is
+bit-identical to the default.  See ``docs/WORKLOADS.md`` for the
+authoring guide.
 ``--jobs N`` fans independent configuration runs across ``N`` worker
 processes (default: one per CPU; results are bit-identical to serial,
 see DESIGN.md §8); ``REPRO_SERIAL=1`` forces serial execution.
@@ -109,6 +118,26 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 def _add_faults(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--faults", default=None, metavar="PLAN.json",
                         help="JSON FaultPlan to inject (see repro.faults)")
+
+
+def _add_workload(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default=None, metavar="NAME|PATH",
+                        help="declarative workload: a shipped scenario "
+                             "name (repro workload list) or a YAML/JSON "
+                             "spec file (docs/WORKLOADS.md)")
+
+
+def _workload(args):
+    """The resolved :class:`~repro.workload.WorkloadSpec`, or ``None``."""
+    reference = getattr(args, "workload", None)
+    if not reference:
+        return None
+    from repro.workload import WorkloadSpecError, resolve_workload
+
+    try:
+        return resolve_workload(reference)
+    except WorkloadSpecError as error:
+        raise SystemExit(f"cannot load workload {reference!r}: {error}")
 
 
 def _add_jobs(parser: argparse.ArgumentParser) -> None:
@@ -220,7 +249,8 @@ def cmd_run(args) -> int:
     faults = _faults(args)
     result = run_configuration(args.warehouses, args.processors,
                                clients=args.clients, machine=_machine(args),
-                               settings=_settings(args), faults=faults)
+                               settings=_settings(args), faults=faults,
+                               workload=_workload(args))
     system = result.system
     rows = [
         ["TPS (measured / iron law)",
@@ -265,7 +295,8 @@ def _parse_grid(text: Optional[str]) -> tuple[int, ...]:
     return grid
 
 
-def _journal_path(args, faults: Optional[FaultPlan]) -> Path:
+def _journal_path(args, faults: Optional[FaultPlan],
+                  workload=None) -> Path:
     """Default journal location, keyed like the cache so unrelated sweeps
     never share a checkpoint file."""
     machine = _machine(args)
@@ -274,6 +305,8 @@ def _journal_path(args, faults: Optional[FaultPlan]) -> Path:
     name = f"{slug}-p{args.processors}-{settings_fingerprint(_settings(args))}"
     if faults is not None:
         name += f"-f{faults.fingerprint()}"
+    if workload is not None:
+        name += f"-wl{workload.fingerprint()}"
     root = Path(__file__).resolve().parents[2] / "results" / "sweeps"
     return root / f"{name}.jsonl"
 
@@ -282,11 +315,12 @@ def cmd_sweep(args) -> int:
     """``repro sweep``: a warehouse sweep at fixed processor count."""
     grid = _parse_grid(args.grid)
     faults = _faults(args)
+    workload = _workload(args)
     journal = None
     if args.journal:
         journal = SweepJournal(args.journal)
     elif args.resume:
-        journal = SweepJournal(_journal_path(args, faults))
+        journal = SweepJournal(_journal_path(args, faults, workload))
     if journal is not None:
         done = len(journal.load())
         print(f"journal: {journal.path} ({done} point(s) already complete)")
@@ -298,7 +332,8 @@ def cmd_sweep(args) -> int:
         records = fabric_sweep(grid, args.processors,
                                machine=_machine(args),
                                settings=_settings(args), faults=faults,
-                               journal=journal, coordinator=coordinator)
+                               journal=journal, coordinator=coordinator,
+                               workload=workload)
         _print_fabric_summary(coordinator)
     else:
         supervisor = _supervisor(args)
@@ -306,7 +341,7 @@ def cmd_sweep(args) -> int:
                                  machine=_machine(args),
                                  settings=_settings(args), faults=faults,
                                  journal=journal, jobs=args.jobs,
-                                 supervisor=supervisor)
+                                 supervisor=supervisor, workload=workload)
     if supervisor is not None and supervisor.events:
         degraded = [e for e in supervisor.events
                     if e["event"] != "point-straggling"]
@@ -337,7 +372,8 @@ def cmd_pivot(args) -> int:
     """``repro pivot``: pivot-point analysis over a warehouse sweep."""
     grid = _parse_grid(args.grid)
     records = sweep_parallel(grid, args.processors, machine=_machine(args),
-                             settings=_settings(args), jobs=args.jobs)
+                             settings=_settings(args), jobs=args.jobs,
+                             workload=_workload(args))
     xs = [r.warehouses for r in records]
     if args.metric == "cpi":
         ys = [r.cpi.cpi for r in records]
@@ -429,7 +465,7 @@ def cmd_report(args) -> int:
         result = run_configuration(
             args.warehouses, args.processors, clients=args.clients,
             machine=machine, settings=_settings(args), use_cache=False,
-            faults=faults)
+            faults=faults, workload=_workload(args))
     finally:
         obs.disable_tracing()
     report = build_run_report(
@@ -458,7 +494,8 @@ def _report_sweep(args) -> int:
     supervisor = _supervisor(args)
     points = sweep_telemetry(grid, args.processors, machine=machine,
                              settings=_settings(args), faults=_faults(args),
-                             jobs=args.jobs, supervisor=supervisor)
+                             jobs=args.jobs, supervisor=supervisor,
+                             workload=_workload(args))
     report = build_sweep_report(
         points, events=supervisor.events if supervisor is not None else None)
     out = Path(args.out) if args.out else _reports_dir()
@@ -498,7 +535,7 @@ def cmd_trace(args) -> int:
     machine = _machine(args)
     points = sweep_telemetry(grid, args.processors, machine=machine,
                              settings=_settings(args), faults=_faults(args),
-                             jobs=args.jobs)
+                             jobs=args.jobs, workload=_workload(args))
     tracks = tracks_from_points(points)
     if not tracks:
         raise SystemExit("no spans were recorded (all points were "
@@ -512,6 +549,106 @@ def cmd_trace(args) -> int:
     print(write_chrome_trace(tracks, out))
     print(f"{len(tracks)} track(s); load in https://ui.perfetto.dev "
           "or chrome://tracing")
+    return 0
+
+
+def cmd_workload(args) -> int:
+    """``repro workload list|show|validate``: the scenario library."""
+    from repro.workload import (
+        WorkloadSpecError,
+        available_workloads,
+        compile_workload,
+        load_workload,
+        resolve_workload,
+        scenario_paths,
+    )
+
+    if args.action == "list":
+        rows = []
+        for name, spec in sorted(available_workloads().items()):
+            rows.append([
+                name,
+                str(len(spec.transactions)),
+                str(len(spec.phases or ())),
+                "odb" if spec.segments is None else str(len(spec.segments)),
+                spec.fingerprint(),
+                spec.description.split(":")[0].strip() or "-",
+            ])
+        print(render_table(
+            "Shipped workload scenarios (--workload NAME)",
+            ["name", "txns", "phases", "segments", "fingerprint", "summary"],
+            rows,
+            note="authoring guide: docs/WORKLOADS.md; validate a custom "
+                 "spec with `repro workload validate path/to/spec.yaml`"))
+        return 0
+
+    if args.action == "show":
+        if len(args.specs) != 1:
+            raise SystemExit("repro workload show needs exactly one "
+                             "workload name or spec file")
+        try:
+            spec = resolve_workload(args.specs[0])
+        except WorkloadSpecError as error:
+            raise SystemExit(str(error))
+        compiled = compile_workload(spec)
+        total = sum(t.weight for t in spec.transactions)
+        rows = [[t.name, f"{t.weight / total:.1%}",
+                 f"{t.user_instructions / 1e6:.2f}M",
+                 f"{t.redo_bytes / 1024:.1f} KB",
+                 ", ".join(t.locks) or "-",
+                 str(len(t.touches))]
+                for t in spec.transactions]
+        print(render_table(
+            f"workload {spec.name} ({spec.fingerprint()})",
+            ["transaction", "share", "user instr", "redo", "locks",
+             "touches"],
+            rows, note=spec.description or None))
+        if spec.segments is not None:
+            print("segments: " + ", ".join(
+                f"{s.name}={s.units or int(s.bytes)}"
+                f"{'u' if s.units else 'B'}"
+                f"{'' if s.per_warehouse else ' (global)'}"
+                for s in spec.segments))
+        if spec.phases:
+            for phase in spec.phases:
+                overrides = ", ".join(f"{name}={weight}"
+                                      for name, weight in phase.weights)
+                print(f"phase {phase.name}: {phase.duration_s}s "
+                      f"[{overrides or 'base weights'}]")
+        if compiled.is_standard:
+            print("(bit-identical to the built-in default mix)")
+        return 0
+
+    # validate: explicit spec files, or the whole shipped library.
+    failures = 0
+    if args.specs:
+        targets = [Path(ref) for ref in args.specs]
+    else:
+        targets = scenario_paths()
+        print(f"validating the shipped library "
+              f"({len(targets)} scenario file(s))")
+    for path in targets:
+        try:
+            spec = load_workload(path)
+            compiled = compile_workload(spec)
+            # Exercise the full compile path, including block-space
+            # construction for custom layouts, at a nominal scale.
+            compiled.build_block_space(2, 64 * 1024)
+            if compiled.phases:
+                compiled.build_mix(clock=lambda: 0.0)
+            else:
+                compiled.build_mix()
+        except WorkloadSpecError as error:
+            print(f"FAIL {error}")
+            failures += 1
+            continue
+        extra = " (standard)" if compiled.is_standard else ""
+        print(f"ok   {spec.name}: {len(spec.transactions)} txns, "
+              f"{len(spec.phases or ())} phase(s), "
+              f"fingerprint {spec.fingerprint()}{extra}")
+    if failures:
+        print(f"{failures} invalid spec(s)")
+        return 1
     return 0
 
 
@@ -550,6 +687,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="default: the Table 1 value for (W, P)")
     _add_common(run_parser)
     _add_faults(run_parser)
+    _add_workload(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
     sweep_parser = commands.add_parser("sweep", help="warehouse sweep")
@@ -565,6 +703,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="explicit journal file (implies --resume)")
     _add_common(sweep_parser)
     _add_faults(sweep_parser)
+    _add_workload(sweep_parser)
     _add_jobs(sweep_parser)
     _add_supervision(sweep_parser)
     _add_fabric(sweep_parser)
@@ -577,6 +716,7 @@ def build_parser() -> argparse.ArgumentParser:
                               default="cpi")
     pivot_parser.add_argument("--grid", default=None)
     _add_common(pivot_parser)
+    _add_workload(pivot_parser)
     _add_jobs(pivot_parser)
     pivot_parser.set_defaults(func=cmd_pivot)
 
@@ -614,6 +754,7 @@ def build_parser() -> argparse.ArgumentParser:
                                     "(default: results/reports/)")
     _add_common(report_parser)
     _add_faults(report_parser)
+    _add_workload(report_parser)
     _add_jobs(report_parser)
     _add_supervision(report_parser)
     report_parser.set_defaults(func=cmd_report)
@@ -633,8 +774,20 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(default: results/traces/*.trace.json)")
     _add_common(trace_parser)
     _add_faults(trace_parser)
+    _add_workload(trace_parser)
     _add_jobs(trace_parser)
     trace_parser.set_defaults(func=cmd_trace)
+
+    workload_parser = commands.add_parser(
+        "workload", help="list/show/validate declarative workloads")
+    workload_parser.add_argument(
+        "action", choices=("list", "show", "validate"),
+        help="list: shipped scenarios; show: one spec spelled out; "
+             "validate: check spec files (default: the whole library)")
+    workload_parser.add_argument(
+        "specs", nargs="*", default=[],
+        help="workload name (show) or spec files (validate)")
+    workload_parser.set_defaults(func=cmd_workload)
 
     docs_parser = commands.add_parser(
         "docs", help="regenerate doc blocks from results/ artifacts")

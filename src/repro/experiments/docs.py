@@ -103,6 +103,38 @@ def results_index_blocks(results_dir: Path) -> dict[str, str]:
     return {"results-index": artifact_index_block(results_dir)}
 
 
+def workload_catalog_block() -> str:
+    """A Markdown table cataloguing every shipped workload scenario.
+
+    Generated from the scenario library itself (name, description,
+    transaction weights, phase count, fingerprint), so docs/WORKLOADS.md
+    cannot drift from ``src/repro/workload/scenarios/`` without the CI
+    ``--check`` step noticing.
+    """
+    from repro.workload import available_workloads, compile_workload
+
+    lines = [
+        "| scenario | transactions (weight) | phases | fingerprint "
+        "| description |",
+        "|---|---|---|---|---|",
+    ]
+    for spec in available_workloads().values():
+        weights = ", ".join(
+            f"{t.name} {t.weight:g}" for t in spec.transactions)
+        phases = len(spec.phases) if spec.phases else 0
+        fingerprint = compile_workload(spec).fingerprint()
+        description = spec.description.split("\n")[0].strip()
+        lines.append(
+            f"| `{spec.name}` | {weights} | {phases} "
+            f"| `{fingerprint}` | {description} |")
+    return "\n".join(lines) + "\n"
+
+
+def workload_blocks() -> dict[str, str]:
+    """Generated blocks for docs/WORKLOADS.md."""
+    return {"workload-catalog": workload_catalog_block()}
+
+
 def apply_blocks(text: str, blocks: dict[str, str]
                  ) -> tuple[str, list[str], list[str]]:
     """Replace every marked region of ``text`` whose name is in ``blocks``.
@@ -164,6 +196,7 @@ def regen_all(root: Path | None = None, check: bool = False
     targets = [
         (root / "EXPERIMENTS.md", experiments_blocks(results_dir)),
         (results_dir / "README.md", results_index_blocks(results_dir)),
+        (root / "docs" / "WORKLOADS.md", workload_blocks()),
     ]
     drift: dict[str, list[str]] = {}
     for path, blocks in targets:

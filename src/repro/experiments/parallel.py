@@ -53,6 +53,7 @@ from repro.hw.machine import MachineConfig, XEON_MP_QUAD
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 from repro.obs.manifest import RunManifest
+from repro.workload import WorkloadSpec
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -76,6 +77,10 @@ class RunSpec:
     machine: MachineConfig = XEON_MP_QUAD
     settings: RunnerSettings = DEFAULT_SETTINGS
     faults: Optional[FaultPlan] = None
+    #: Declarative workload the point runs (``None`` = built-in standard
+    #: mix).  The *spec* ships across the process boundary — workers
+    #: compile it locally via the memoized ``compile_workload``.
+    workload: Optional[WorkloadSpec] = None
 
     @property
     def resolved_clients(self) -> int:
@@ -88,7 +93,7 @@ class RunSpec:
         """The cache/journal key this spec runs under."""
         return configuration_key(self.machine, self.warehouses,
                                  self.resolved_clients, self.processors,
-                                 self.settings, self.faults)
+                                 self.settings, self.faults, self.workload)
 
     @property
     def label(self) -> str:
@@ -97,6 +102,8 @@ class RunSpec:
                 f"C={self.resolved_clients} P={self.processors}")
         if self.faults is not None:
             text += " faulted"
+        if self.workload is not None:
+            text += f" workload={self.workload.name}"
         return text
 
 
@@ -179,7 +186,7 @@ def _run_spec(spec: RunSpec, cache_dir: Optional[str],
         spec.warehouses, spec.processors, clients=spec.clients,
         machine=spec.machine, settings=spec.settings,
         use_cache=use_cache, faults=spec.faults, cache=cache,
-        worker_count=worker_count)
+        worker_count=worker_count, workload=spec.workload)
 
 
 def _run_spec_telemetry(spec: RunSpec, cache_dir: Optional[str],
@@ -345,7 +352,8 @@ def sweep_telemetry(warehouse_grid, processors: int,
                     faults: Optional[FaultPlan] = None,
                     jobs: Optional[int] = None,
                     cache_dir: Optional[Union[str, Path]] = None,
-                    shards=None, policy=None, chaos=None, supervisor=None
+                    shards=None, policy=None, chaos=None, supervisor=None,
+                    workload: Optional[WorkloadSpec] = None
                     ) -> list[PointTelemetry]:
     """A warehouse sweep that returns telemetry for every point.
 
@@ -364,7 +372,8 @@ def sweep_telemetry(warehouse_grid, processors: int,
                    if clients_fn is not None else None)
         specs.append(RunSpec(warehouses=warehouses, processors=processors,
                              clients=clients, machine=machine,
-                             settings=settings, faults=faults))
+                             settings=settings, faults=faults,
+                             workload=workload))
     if any(option is not None for option in (shards, policy, chaos,
                                              supervisor)):
         from repro.experiments.supervisor import supervised_run_telemetry
@@ -410,7 +419,8 @@ def sweep_parallel(warehouse_grid, processors: int,
                    journal: Optional[Union[SweepJournal, str]] = None,
                    jobs: Optional[int] = None,
                    cache_dir: Optional[Union[str, Path]] = None,
-                   shards=None, policy=None, chaos=None, supervisor=None
+                   shards=None, policy=None, chaos=None, supervisor=None,
+                   workload: Optional[WorkloadSpec] = None
                    ) -> list[ConfigResult]:
     """Parallel warehouse sweep, bit-identical to :func:`runner.sweep`.
 
@@ -431,7 +441,8 @@ def sweep_parallel(warehouse_grid, processors: int,
             warehouse_grid, processors, machine=machine, settings=settings,
             clients_fn=clients_fn, use_cache=use_cache, faults=faults,
             journal=journal, jobs=jobs, cache_dir=cache_dir, shards=shards,
-            policy=policy, chaos=chaos, supervisor=supervisor)
+            policy=policy, chaos=chaos, supervisor=supervisor,
+            workload=workload)
     if journal is not None and not isinstance(journal, SweepJournal):
         journal = SweepJournal(journal)
 
@@ -440,7 +451,7 @@ def sweep_parallel(warehouse_grid, processors: int,
         return sweep(warehouse_grid, processors, machine=machine,
                      settings=settings, clients_fn=clients_fn,
                      use_cache=use_cache, faults=faults, journal=journal,
-                     cache=cache)
+                     cache=cache, workload=workload)
 
     specs = []
     for warehouses in warehouse_grid:
@@ -448,7 +459,8 @@ def sweep_parallel(warehouse_grid, processors: int,
                    if clients_fn is not None else None)
         specs.append(RunSpec(warehouses=warehouses, processors=processors,
                              clients=clients, machine=machine,
-                             settings=settings, faults=faults))
+                             settings=settings, faults=faults,
+                             workload=workload))
 
     completed = journal.load() if journal is not None else {}
     pending = [spec for spec in specs if spec.key() not in completed]

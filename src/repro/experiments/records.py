@@ -194,16 +194,24 @@ class ResultCache:
     @staticmethod
     def key_for(machine: str, warehouses: int, clients: int, processors: int,
                 settings_fingerprint: str,
-                fault_fingerprint: Optional[str] = None) -> str:
+                fault_fingerprint: Optional[str] = None,
+                workload_fingerprint: Optional[str] = None) -> str:
         # Derived machine names ("xeon-mp-quad/l3=512KB") contain path
         # separators and '='; flatten to a filesystem-safe slug.
-        """Filesystem-safe cache key for one configuration."""
+        """Filesystem-safe cache key for one configuration.
+
+        ``workload_fingerprint`` is only passed for non-standard
+        workloads — the standard spec shares the default mix's keys by
+        construction (bit-identical runs must hit the same cache).
+        """
         safe_machine = "".join(c if c.isalnum() or c in "-." else "_"
                                for c in machine)
         key = (f"{safe_machine}-w{warehouses}-c{clients}-p{processors}"
                f"-{settings_fingerprint}")
         if fault_fingerprint:
             key += f"-f{fault_fingerprint}"
+        if workload_fingerprint:
+            key += f"-wl{workload_fingerprint}"
         return key
 
     def _quarantine(self, path: Path, key: Optional[str] = None) -> None:

@@ -54,6 +54,7 @@ from repro.obs.manifest import RunManifest, environment_fields
 from repro.odb.system import OdbConfig, OdbSystem
 from repro.sim.randomness import RandomStreams
 from repro.sim.scheduler import scheduler_name_from_env
+from repro.workload import CompiledWorkload, WorkloadSpec, compile_workload
 
 #: Process-wide default result cache, created lazily by
 #: :func:`default_cache` (honoring ``REPRO_CACHE_DIR``).  Injectable:
@@ -108,14 +109,38 @@ def settings_fingerprint(settings: RunnerSettings) -> str:
     return hashlib.blake2b(text.encode(), digest_size=6).hexdigest()
 
 
+def _compiled_workload(
+        workload: Optional[WorkloadSpec]) -> Optional[CompiledWorkload]:
+    """Compile a spec for a run; ``None`` stays the built-in default."""
+    if workload is None:
+        return None
+    return compile_workload(workload)
+
+
+def _workload_key_part(
+        compiled: Optional[CompiledWorkload]) -> Optional[str]:
+    """The cache-key contribution of a workload.
+
+    A spec whose compiled form is indistinguishable from the built-in
+    default (``is_standard``) contributes nothing, so ``--workload
+    odb-standard`` shares the default path's cache entries — the
+    bit-identity contract made operational.
+    """
+    if compiled is None or compiled.is_standard:
+        return None
+    return compiled.fingerprint()
+
+
 def configuration_key(machine: MachineConfig, warehouses: int, clients: int,
                       processors: int, settings: RunnerSettings,
-                      faults: Optional[FaultPlan] = None) -> str:
+                      faults: Optional[FaultPlan] = None,
+                      workload: Optional[WorkloadSpec] = None) -> str:
     """The cache/journal key of one fully resolved configuration."""
     return ResultCache.key_for(
         machine.name, warehouses, clients, processors,
         settings_fingerprint(settings),
-        faults.fingerprint() if faults is not None else None)
+        faults.fingerprint() if faults is not None else None,
+        _workload_key_part(_compiled_workload(workload)))
 
 
 def run_configuration(warehouses: int, processors: int,
@@ -125,7 +150,8 @@ def run_configuration(warehouses: int, processors: int,
                       use_cache: bool = True,
                       faults: Optional[FaultPlan] = None,
                       cache: Optional[ResultCache] = None,
-                      worker_count: int = 1) -> ConfigResult:
+                      worker_count: int = 1,
+                      workload: Optional[WorkloadSpec] = None) -> ConfigResult:
     """Run one (W, C, P) configuration end-to-end.
 
     ``clients`` defaults to the Table 1 client count for (W, P).
@@ -157,8 +183,9 @@ def run_configuration(warehouses: int, processors: int,
         clients = client_count(warehouses, processors)
     if cache is None:
         cache = default_cache()
+    compiled = _compiled_workload(workload)
     key = configuration_key(machine, warehouses, clients, processors,
-                            settings, faults)
+                            settings, faults, workload)
     if use_cache:
         cached = cache.load(key)
         if cached is not None:
@@ -166,7 +193,9 @@ def run_configuration(warehouses: int, processors: int,
             return cached
 
     context = (f"{machine.name} W={warehouses} C={clients} P={processors}"
-               + (" faulted" if faults is not None else ""))
+               + (" faulted" if faults is not None else "")
+               + (f" workload={compiled.name}" if compiled is not None
+                  and not compiled.is_standard else ""))
     started = time.monotonic()
     started_cpu = time.process_time()
     if _metrics.ACTIVE:
@@ -206,6 +235,7 @@ def run_configuration(warehouses: int, processors: int,
                     user_cpi=user_cpi,
                     os_cpi=os_cpi,
                     faults=faults,
+                    workload=compiled,
                 )
                 with _tracing.span("system-des") as span:
                     system_metrics = OdbSystem(config).run(
@@ -290,6 +320,9 @@ def run_configuration(warehouses: int, processors: int,
         settings_fingerprint=settings_fingerprint(settings),
         fault_fingerprint=(faults.fingerprint()
                            if faults is not None else None),
+        workload=(compiled.name if compiled is not None else "odb-standard"),
+        workload_fingerprint=(compiled.fingerprint()
+                              if compiled is not None else None),
         worker_count=max(1, worker_count),
         wall_time_s=time.monotonic() - started,
         cpu_time_s=time.process_time() - started_cpu,
@@ -321,7 +354,8 @@ def sweep(warehouse_grid, processors: int,
           clients_fn=None, use_cache: bool = True,
           faults: Optional[FaultPlan] = None,
           journal: Optional[Union[SweepJournal, str]] = None,
-          cache: Optional[ResultCache] = None) -> list[ConfigResult]:
+          cache: Optional[ResultCache] = None,
+          workload: Optional[WorkloadSpec] = None) -> list[ConfigResult]:
     """Run a warehouse sweep at a fixed processor count.
 
     With ``journal`` (a :class:`~repro.experiments.resilience.SweepJournal`
@@ -340,7 +374,7 @@ def sweep(warehouse_grid, processors: int,
         resolved_clients = (clients if clients is not None
                             else client_count(warehouses, processors))
         key = configuration_key(machine, warehouses, resolved_clients,
-                                processors, settings, faults)
+                                processors, settings, faults, workload)
         cached = completed.get(key)
         if cached is not None:
             results.append(cached)
@@ -348,7 +382,7 @@ def sweep(warehouse_grid, processors: int,
         result = run_configuration(
             warehouses, processors, clients=clients, machine=machine,
             settings=settings, use_cache=use_cache, faults=faults,
-            cache=cache)
+            cache=cache, workload=workload)
         if journal is not None:
             journal.record(key, result)
         results.append(result)
@@ -359,7 +393,8 @@ def utilization_for(warehouses: int, processors: int, clients: int,
                     machine: MachineConfig = XEON_MP_QUAD,
                     settings: RunnerSettings = DEFAULT_SETTINGS,
                     faults: Optional[FaultPlan] = None,
-                    cache: Optional[ResultCache] = None) -> float:
+                    cache: Optional[ResultCache] = None,
+                    workload: Optional[WorkloadSpec] = None) -> float:
     """CPU utilization at a specific client count (for the Table 1 search).
 
     Runs the full coupled iteration via :func:`run_configuration`: CPI
@@ -372,5 +407,6 @@ def utilization_for(warehouses: int, processors: int, clients: int,
     """
     result = run_configuration(warehouses, processors, clients=clients,
                                machine=machine, settings=settings,
-                               use_cache=True, faults=faults, cache=cache)
+                               use_cache=True, faults=faults, cache=cache,
+                               workload=workload)
     return result.system.cpu_utilization

@@ -726,8 +726,8 @@ def supervised_sweep(warehouse_grid, processors: int,
                      shards: Optional[Sequence[ShardSpec]] = None,
                      policy: Optional[SupervisorPolicy] = None,
                      chaos: Optional[ChaosPolicy] = None,
-                     supervisor: Optional[ShardedSupervisor] = None
-                     ) -> list[ConfigResult]:
+                     supervisor: Optional[ShardedSupervisor] = None,
+                     workload=None) -> list[ConfigResult]:
     """A warehouse sweep under the supervisor, journal as merge point.
 
     Mirrors :func:`~repro.experiments.parallel.sweep_parallel`: points
@@ -750,7 +750,8 @@ def supervised_sweep(warehouse_grid, processors: int,
                    if clients_fn is not None else None)
         specs.append(RunSpec(warehouses=warehouses, processors=processors,
                              clients=clients, machine=machine,
-                             settings=settings, faults=faults))
+                             settings=settings, faults=faults,
+                             workload=workload))
 
     completed = journal.load() if journal is not None else {}
     pending = [spec for spec in specs if spec.key() not in completed]

@@ -669,8 +669,8 @@ def fabric_sweep(warehouse_grid, processors: int,
                  policy: Optional[SupervisorPolicy] = None,
                  fabric: Optional[FabricPolicy] = None,
                  chaos: Optional[FabricChaosPolicy] = None,
-                 coordinator: Optional[FabricCoordinator] = None
-                 ) -> list[ConfigResult]:
+                 coordinator: Optional[FabricCoordinator] = None,
+                 workload=None) -> list[ConfigResult]:
     """A warehouse sweep across the fabric, journal as merge point.
 
     Mirrors :func:`~repro.experiments.supervisor.supervised_sweep`:
@@ -693,7 +693,8 @@ def fabric_sweep(warehouse_grid, processors: int,
                    if clients_fn is not None else None)
         specs.append(RunSpec(warehouses=warehouses, processors=processors,
                              clients=clients, machine=machine,
-                             settings=settings, faults=faults))
+                             settings=settings, faults=faults,
+                             workload=workload))
 
     completed = journal.load() if journal is not None else {}
     pending = [spec for spec in specs if spec.key() not in completed]

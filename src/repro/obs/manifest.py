@@ -26,10 +26,12 @@ from pathlib import Path
 from typing import Optional
 
 #: Serialization generation of :class:`RunManifest`.  Version 2 added
-#: the per-round ``round_deltas`` fixed-point trajectory; version-1
-#: manifests on disk are simply unreadable (``load_manifest`` treats
-#: them as absent), which is safe because manifests are descriptive.
-MANIFEST_VERSION = 2
+#: the per-round ``round_deltas`` fixed-point trajectory; version 3
+#: added workload provenance (``workload`` + ``workload_fingerprint``).
+#: Older manifests on disk are simply unreadable (``load_manifest``
+#: treats them as absent), which is safe because manifests are
+#: descriptive.
+MANIFEST_VERSION = 3
 
 
 @lru_cache(maxsize=None)
@@ -78,6 +80,14 @@ class RunManifest:
     seed: int
     settings_fingerprint: str
     fault_fingerprint: Optional[str] = None
+    #: Which declarative workload the run executed (``repro.workload``
+    #: scenario name, or the file stem of a user spec).  The default
+    #: code path and the shipped standard spec both record
+    #: ``"odb-standard"`` — they are bit-identical by contract.
+    workload: str = "odb-standard"
+    #: Spec content fingerprint; ``None`` for the built-in default path
+    #: (no spec object existed to hash).
+    workload_fingerprint: Optional[str] = None
     package_version: str = ""
     git_rev: str = "unknown"
     python_version: str = ""

@@ -39,7 +39,7 @@ def client_process(system, client_id: int):
         profile = system.mix.pick(rng)
         plan = plan_transaction(rng, profile, system.sampler,
                                 system.config.warehouses,
-                                remote_prob=system.config.remote_touch_prob)
+                                remote_prob=system.remote_touch_prob)
         attempt = 0
         while True:
             attempt += 1

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from random import Random
+from typing import Callable
 
 from repro.odb.transactions import STANDARD_PROFILES, TransactionProfile
 
@@ -44,3 +46,46 @@ class TransactionMix:
         """Normalized weight of one transaction type."""
         total = sum(p.weight for p in self.profiles)
         return self.by_name(name).weight / total
+
+
+class PhasedTransactionMix(TransactionMix):
+    """A mix whose weights cycle through phases over simulated time.
+
+    ``schedule`` is ``(duration_s, profiles)`` per phase; the phases
+    repeat in order for the whole run (the paper's Figures 12-14
+    new-order / payment waves).  ``clock`` reads the simulation time —
+    the engine's ``now`` — at each pick.  ``profiles`` (the base
+    attribute) holds the stationary duration-weighted blend, which is
+    what popularity/prewarm analysis should see; ``pick`` delegates to
+    the active phase's own weighted mix, costing the same single
+    uniform draw as the stationary case.
+    """
+
+    def __init__(self, profiles: tuple[TransactionProfile, ...],
+                 schedule: tuple[
+                     tuple[float, tuple[TransactionProfile, ...]], ...],
+                 clock: Callable[[], float]):
+        super().__init__(profiles)
+        if not schedule:
+            raise ValueError("phased mix needs at least one phase")
+        self._phase_mixes = [TransactionMix(phase_profiles)
+                             for _, phase_profiles in schedule]
+        self._ends: list[float] = []
+        elapsed = 0.0
+        for duration_s, _ in schedule:
+            if duration_s <= 0:
+                raise ValueError("phase durations must be positive")
+            elapsed += duration_s
+            self._ends.append(elapsed)
+        self.cycle_s = elapsed
+        self._clock = clock
+
+    def active_phase(self) -> int:
+        """Index of the phase the clock is currently inside."""
+        position = self._clock() % self.cycle_s
+        index = bisect_right(self._ends, position)
+        return min(index, len(self._phase_mixes) - 1)
+
+    def pick(self, rng: Random) -> TransactionProfile:
+        """Draw one transaction type from the active phase's mix."""
+        return self._phase_mixes[self.active_phase()].pick(rng)

@@ -60,7 +60,10 @@ def unit_popularities(
         for spec in profile.touches:
             segment = space.segment(spec.segment)
             touch_rate = share * spec.count
-            if spec.append_hot:
+            if spec.fixed_index is not None:
+                weights = [1.0]
+                indices = [spec.fixed_index % segment.units]
+            elif spec.append_hot:
                 window = max(4, segment.units // 50)
                 weights = _zipf_weights(window, 1.2)
                 indices = range(window)

@@ -65,6 +65,11 @@ class OdbConfig:
     #: Strictly opt-in: with no plan the simulation is bit-identical to a
     #: build without the fault layer.
     faults: Optional[FaultPlan] = None
+    #: Optional compiled workload (repro.workload.CompiledWorkload,
+    #: duck-typed to keep odb import-independent of the DSL layer).
+    #: None = the built-in standard ODB mix; a compiled ``odb-standard``
+    #: spec is value-identical and therefore bit-identical at run time.
+    workload: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.warehouses <= 0 or self.clients <= 0:
@@ -155,6 +160,15 @@ class OdbSystem:
         schema = OdbSchema(config.warehouses, config.unit_bytes)
         self.schema = schema
         self.space: BlockSpace = schema.build_block_space()
+        self.workload = config.workload
+        self.remote_touch_prob = config.remote_touch_prob
+        if self.workload is not None:
+            custom_space = self.workload.build_block_space(
+                config.warehouses, config.unit_bytes)
+            if custom_space is not None:
+                self.space = custom_space
+            if self.workload.remote_touch_prob is not None:
+                self.remote_touch_prob = self.workload.remote_touch_prob
         capacity_units = max(
             1, int(machine.sga_bytes * config.buffer_cache_fraction)
             // config.unit_bytes)
@@ -165,7 +179,12 @@ class OdbSystem:
         self.db = DatabaseEngine(self.engine, self.scheduler, self.disks,
                                  self.buffer_cache, self.lock_table,
                                  self.redo, self.dbwriter)
-        self.mix = TransactionMix()
+        if self.workload is not None:
+            # The phase clock reads simulated time lazily, so a schedule
+            # follows the engine without the mix holding engine state.
+            self.mix = self.workload.build_mix(clock=lambda: self.engine.now)
+        else:
+            self.mix = TransactionMix()
         self.sampler = _SegmentSampler(self.space)
         self._txn_log: list[tuple[str, TransactionStats]] = []
         # Fault injection (strictly opt-in; see repro.faults).  Fault
@@ -218,7 +237,7 @@ class OdbSystem:
         from repro.odb.popularity import steady_state_fill
         from repro.odb.transactions import plan_transaction
 
-        steady_state_fill(self.buffer_cache, self.space)
+        steady_state_fill(self.buffer_cache, self.space, self.mix.profiles)
         rng = self.streams.stream("prewarm")
         # Hot loop (thousands of plan replays before the DES even
         # starts): alias the per-plan callees once.
@@ -229,7 +248,7 @@ class OdbSystem:
         install = cache.install
         sampler = self.sampler
         warehouses = self.config.warehouses
-        remote_prob = self.config.remote_touch_prob
+        remote_prob = self.remote_touch_prob
         for _ in range(plans):
             plan = plan_transaction(rng, pick_profile(rng), sampler,
                                     warehouses, remote_prob)

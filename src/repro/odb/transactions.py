@@ -12,6 +12,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from dataclasses import dataclass
 from random import Random
+from typing import Optional
 
 from repro.db.blocks import BlockSpace
 from repro.sim.randomness import zipf_cdf
@@ -29,12 +30,20 @@ class TouchSpec:
     #: Append-mostly segments (orders, history): touches cluster in a
     #: small rolling window rather than spreading over the segment.
     append_hot: bool = False
+    #: Always touch this one unit (a hot counter row).  Mutually
+    #: exclusive with ``append_hot``; overrides the skew distribution.
+    fixed_index: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.count <= 0:
             raise ValueError("touch count must be positive")
         if not 0.0 <= self.write_prob <= 1.0:
             raise ValueError("write_prob must be in [0, 1]")
+        if self.fixed_index is not None:
+            if self.fixed_index < 0:
+                raise ValueError("fixed_index must be >= 0")
+            if self.append_hot:
+                raise ValueError("fixed_index and append_hot are exclusive")
 
 
 @dataclass(frozen=True)
@@ -201,6 +210,24 @@ class _SegmentSampler:
 
     def _plan(self, spec: TouchSpec) -> tuple:
         segment = self.space.segment(spec.segment)
+        if spec.fixed_index is not None:
+            # A pinned unit: the CDF degenerates to one bucket so the
+            # hot call still consumes exactly one uniform draw (keeping
+            # the RNG stream aligned with distribution changes) and the
+            # chosen index folds into the offset.
+            cdf = [1.0]
+            modulus = 0
+            space = self.space
+            if segment.per_warehouse:
+                stride = space.units_per_warehouse
+                offset = space.global_units + space._wh_offsets[spec.segment]
+            else:
+                stride = 0
+                offset = space._global_offsets[spec.segment]
+            plan = (cdf, modulus, stride,
+                    offset + spec.fixed_index % segment.units)
+            self._plans[spec] = plan
+            return plan
         if spec.append_hot:
             # A rolling append window: the hottest ~2% of the segment
             # (at least 4 units), strongly skewed.

@@ -1,0 +1,60 @@
+"""Declarative workloads: specs in, transaction mixes out.
+
+The package splits into four small layers:
+
+- :mod:`repro.workload.spec` — the frozen, validated dataclass model
+  (:class:`WorkloadSpec` and friends) with canonical serialization and
+  a stable fingerprint.
+- :mod:`repro.workload.loader` — strict YAML/JSON parsing with
+  key-path error messages.
+- :mod:`repro.workload.compiler` — lowering to the ODB runtime types
+  (``compile_workload`` -> :class:`CompiledWorkload`); the standard
+  scenario compiles bit-identically to the built-in mix.
+- :mod:`repro.workload.library` — the shipped scenario files and
+  ``--workload`` reference resolution.
+
+Authoring guide and schema reference: ``docs/WORKLOADS.md``.
+"""
+
+from repro.workload.compiler import CompiledWorkload, compile_workload
+from repro.workload.library import (
+    DEFAULT_WORKLOAD,
+    available_workloads,
+    resolve_workload,
+    scenario_paths,
+    scenarios_dir,
+    workload_by_name,
+)
+from repro.workload.loader import (
+    load_workload,
+    parse_workload,
+    parse_workload_text,
+)
+from repro.workload.spec import (
+    PhaseSpec,
+    SegmentSpec,
+    TouchRule,
+    TransactionSpec,
+    WorkloadSpec,
+    WorkloadSpecError,
+)
+
+__all__ = [
+    "CompiledWorkload",
+    "DEFAULT_WORKLOAD",
+    "PhaseSpec",
+    "SegmentSpec",
+    "TouchRule",
+    "TransactionSpec",
+    "WorkloadSpec",
+    "WorkloadSpecError",
+    "available_workloads",
+    "compile_workload",
+    "load_workload",
+    "parse_workload",
+    "parse_workload_text",
+    "resolve_workload",
+    "scenario_paths",
+    "scenarios_dir",
+    "workload_by_name",
+]

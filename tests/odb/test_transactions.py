@@ -137,8 +137,13 @@ class TestMix:
         assert share == pytest.approx(0.45, abs=0.04)
 
     def test_by_name_unknown(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(KeyError) as excinfo:
             TransactionMix().by_name("refund")
+        message = str(excinfo.value)
+        assert "refund" in message, "error must name the requested type"
+        for known in ("new_order", "payment", "order_status",
+                      "delivery", "stock_level"):
+            assert known in message, "error must list the known types"
 
     def test_empty_mix_rejected(self):
         with pytest.raises(ValueError):

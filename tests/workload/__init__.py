@@ -1,0 +1,1 @@
+"""Tests for the declarative workload DSL (repro.workload)."""

@@ -13,6 +13,10 @@ new packages), run by the CI ``docs`` job:
 - every ``repro`` CLI subcommand registered in ``src/repro/cli.py``
   must be mentioned in the README (as ``repro <name>``), so new verbs
   cannot land undocumented;
+- every shipped workload scenario must have a catalog row in
+  ``docs/WORKLOADS.md`` and every public spec dataclass field must be
+  documented there (backticked), so new spec knobs and scenarios
+  cannot land undocumented;
 - DESIGN.md's ``## N.`` sections must be numbered sequentially from 1,
   every ``§N`` cross-reference in the Markdown docs and in ``src/repro``
   docstrings must point at a section that exists, and the design ↔ API
@@ -256,18 +260,85 @@ def check_api_module_map(repo: Path) -> list[str]:
     return problems
 
 
+def _spec_dataclass_fields(spec_path: Path) -> list[tuple[str, str, int]]:
+    """(class name, field name, line) for every spec dataclass field.
+
+    Parsed statically with ``ast``: annotated assignments directly
+    inside a class body are the dataclass fields users write in YAML.
+    Private fields and ``ClassVar``-style helpers are skipped.
+    """
+    tree = ast.parse(spec_path.read_text(encoding="utf-8"))
+    fields = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not any(
+                (isinstance(dec, ast.Call)
+                 and getattr(dec.func, "id", getattr(dec.func, "attr", ""))
+                 == "dataclass")
+                or getattr(dec, "id", getattr(dec, "attr", "")) == "dataclass"
+                for dec in node.decorator_list):
+            continue
+        for child in node.body:
+            if (isinstance(child, ast.AnnAssign)
+                    and isinstance(child.target, ast.Name)
+                    and _is_public(child.target.id)):
+                fields.append((node.name, child.target.id, child.lineno))
+    return fields
+
+
+def check_workload_docs(repo: Path) -> list[str]:
+    """docs/WORKLOADS.md ↔ workload package drift findings.
+
+    Two checks: every shipped scenario file must have a row in the
+    generated catalog block (backticked file stem), and every public
+    spec dataclass field must be documented — mentioned in backticks —
+    somewhere in WORKLOADS.md, so a new spec knob cannot land silently
+    undocumented.
+    """
+    workloads_md = repo / "docs" / "WORKLOADS.md"
+    spec_path = repo / "src" / "repro" / "workload" / "spec.py"
+    scenarios = repo / "src" / "repro" / "workload" / "scenarios"
+    if not workloads_md.exists():
+        return ["docs/WORKLOADS.md:1: missing workload authoring guide"]
+    text = workloads_md.read_text(encoding="utf-8")
+    problems = []
+    # Drop fenced code blocks so ``` fences cannot unbalance the
+    # inline-code scan, then collect single-line `inline code` spans.
+    prose = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    documented = set(re.findall(r"`([^`\n]+)`", prose))
+    if scenarios.is_dir():
+        for path in sorted(scenarios.iterdir()):
+            if path.suffix not in (".yaml", ".yml", ".json"):
+                continue
+            if path.stem not in documented:
+                problems.append(
+                    f"src/repro/workload/scenarios/{path.name}:1: scenario "
+                    f"{path.stem!r} has no row in the WORKLOADS.md catalog "
+                    f"(run 'repro docs regen')")
+    if spec_path.exists():
+        for cls, field, line in _spec_dataclass_fields(spec_path):
+            if field not in documented:
+                problems.append(
+                    f"src/repro/workload/spec.py:{line}: spec field "
+                    f"{cls}.{field} is not documented (no `{field}` "
+                    f"mention in docs/WORKLOADS.md)")
+    return problems
+
+
 def main() -> int:
     """Run all checks; returns the number of problems found."""
     problems = (check_docstrings(SOURCE_ROOT) + check_links(REPO)
                 + check_cli_docs(REPO) + check_design_sections(REPO)
-                + check_api_module_map(REPO))
+                + check_api_module_map(REPO) + check_workload_docs(REPO))
     for problem in problems:
         print(problem)
     if problems:
         print(f"{len(problems)} documentation problem(s)")
     else:
         print("docs lint clean: docstrings present, links resolve, "
-              "CLI verbs documented, DESIGN/API maps in sync")
+              "CLI verbs documented, DESIGN/API maps in sync, "
+              "workload scenarios and spec fields documented")
     return min(len(problems), 100)
 
 
