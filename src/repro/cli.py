@@ -14,6 +14,9 @@
     python -m repro report --sweep -p 4      # traced sweep -> one report
     python -m repro trace export -p 4 --grid 10,100   # Chrome trace JSON
     python -m repro trace validate t.json    # trace_event schema check
+    python -m repro sweep -p 4 --snapshot base.json  # freeze a sweep
+    python -m repro diff base.json cand.json # compare two sweeps
+    python -m repro diff --workload odb-standard --workload banking
     python -m repro workload list            # shipped scenario library
     python -m repro workload show banking    # one scenario, spelled out
     python -m repro workload validate [spec.yaml ...]  # spec validation
@@ -58,6 +61,14 @@ provenance, convergence trajectories, sweep-wide flame table).
 the schema.  Set ``REPRO_METRICS_PATH=events.jsonl`` to stream
 run-started/round-completed/run-finished records live from any
 simulating command.
+``sweep --snapshot PATH`` (and ``report --sweep --snapshot PATH``)
+freezes the sweep as a schema-versioned, deterministic
+:class:`~repro.obs.snapshot.SweepSnapshot`; ``diff`` compares two of
+them — or sweep journals, result-cache directories, or two
+``--workload`` scenarios swept on the spot — into a Markdown/HTML
+dashboard of per-point metric deltas classified under a threshold
+policy (``--thresholds``), with ``--fail-on-regress`` exiting 3 on any
+regressed cell so CI can gate on it (DESIGN.md §15).
 ``docs regen`` regenerates the generated blocks of EXPERIMENTS.md and
 results/README.md from the committed ``results/*.txt`` artifacts;
 ``--check`` fails (exit 1) on drift, which CI runs as the doc-drift
@@ -311,6 +322,50 @@ def _journal_path(args, faults: Optional[FaultPlan],
     return root / f"{name}.jsonl"
 
 
+def _snapshot_sweep(args, grid, faults, workload, journal, coordinator):
+    """The ``repro sweep --snapshot`` path: telemetry sweep + artifact.
+
+    Snapshots need per-point telemetry (manifests, traces, metrics), so
+    this routes through the telemetry executors — fabric when
+    ``--workers`` asked for it, supervised when ``--shards`` and
+    friends did, the plain pool otherwise — then freezes the sweep as a
+    :class:`~repro.obs.snapshot.SweepSnapshot` before returning the
+    results for the usual series rendering.
+    """
+    from repro.experiments.parallel import sweep_telemetry
+    from repro.obs.snapshot import SweepSnapshot
+
+    supervisor = None
+    if coordinator is not None:
+        from repro.experiments.parallel import RunSpec
+        from repro.fabric import fabric_run_telemetry
+
+        if journal is not None:
+            raise SystemExit("--snapshot with --workers does not support "
+                             "--resume/--journal yet")
+        specs = [RunSpec(warehouses=w, processors=args.processors,
+                         machine=_machine(args), settings=_settings(args),
+                         faults=faults, workload=workload)
+                 for w in grid]
+        points = fabric_run_telemetry(specs, coordinator=coordinator)
+        _print_fabric_summary(coordinator)
+    else:
+        supervisor = _supervisor(args)
+        if supervisor is not None and journal is not None:
+            raise SystemExit("--snapshot with --shards/--retries/"
+                             "--point-timeout does not support "
+                             "--resume/--journal yet")
+        points = sweep_telemetry(grid, args.processors,
+                                 machine=_machine(args),
+                                 settings=_settings(args), faults=faults,
+                                 jobs=args.jobs, supervisor=supervisor,
+                                 workload=workload, journal=journal)
+    snapshot = SweepSnapshot.from_points(points)
+    path = snapshot.save(args.snapshot)
+    print(f"snapshot: {path} ({snapshot.describe()})")
+    return [point.result for point in points], supervisor
+
+
 def cmd_sweep(args) -> int:
     """``repro sweep``: a warehouse sweep at fixed processor count."""
     grid = _parse_grid(args.grid)
@@ -325,7 +380,10 @@ def cmd_sweep(args) -> int:
         done = len(journal.load())
         print(f"journal: {journal.path} ({done} point(s) already complete)")
     coordinator = _fabric_coordinator(args)
-    if coordinator is not None:
+    if args.snapshot:
+        records, supervisor = _snapshot_sweep(args, grid, faults, workload,
+                                              journal, coordinator)
+    elif coordinator is not None:
         from repro.fabric import fabric_sweep
 
         supervisor = None
@@ -496,6 +554,12 @@ def _report_sweep(args) -> int:
                              settings=_settings(args), faults=_faults(args),
                              jobs=args.jobs, supervisor=supervisor,
                              workload=_workload(args))
+    if getattr(args, "snapshot", None):
+        from repro.obs.snapshot import SweepSnapshot
+
+        snapshot = SweepSnapshot.from_points(points)
+        print(f"snapshot: {snapshot.save(args.snapshot)} "
+              f"({snapshot.describe()})")
     report = build_sweep_report(
         points, events=supervisor.events if supervisor is not None else None)
     out = Path(args.out) if args.out else _reports_dir()
@@ -550,6 +614,83 @@ def cmd_trace(args) -> int:
     print(f"{len(tracks)} track(s); load in https://ui.perfetto.dev "
           "or chrome://tracing")
     return 0
+
+
+def _workload_snapshot(args, reference):
+    """Run one workload's sweep and freeze it (``repro diff --workload``)."""
+    from repro.experiments.parallel import sweep_telemetry
+    from repro.obs.snapshot import SweepSnapshot
+    from repro.workload import WorkloadSpecError, resolve_workload
+
+    try:
+        workload = resolve_workload(reference)
+    except WorkloadSpecError as error:
+        raise SystemExit(f"cannot load workload {reference!r}: {error}")
+    grid = _parse_grid(args.grid)
+    points = sweep_telemetry(grid, args.processors, machine=_machine(args),
+                             settings=_settings(args), jobs=args.jobs,
+                             workload=workload)
+    print(f"swept workload {workload.name}: {len(points)} point(s)")
+    return SweepSnapshot.from_points(points,
+                                     source=f"workload:{workload.name}")
+
+
+def cmd_diff(args) -> int:
+    """``repro diff``: compare two sweep snapshots (or two workloads).
+
+    Exit codes: 0 on success (even with differences), 1 on load/usage
+    errors, and :data:`repro.obs.diff.REGRESSION_EXIT_CODE` (3) when
+    ``--fail-on-regress`` is set and any metric cell regressed beyond
+    its threshold — the code CI gates on.
+    """
+    from repro.experiments.report import write_run_report
+    from repro.obs.diff import (
+        ThresholdPolicy,
+        ThresholdPolicyError,
+        build_diff_report,
+        diff_snapshots,
+    )
+    from repro.obs.snapshot import SnapshotError, resolve_snapshot
+
+    policy = None
+    if args.thresholds:
+        try:
+            policy = ThresholdPolicy.load(args.thresholds)
+        except ThresholdPolicyError as error:
+            raise SystemExit(str(error))
+    workloads = args.workload or []
+    if workloads:
+        if len(workloads) != 2 or args.baseline or args.candidate:
+            raise SystemExit("workload mode takes exactly two --workload "
+                             "flags and no positional snapshots")
+        baseline = _workload_snapshot(args, workloads[0])
+        candidate = _workload_snapshot(args, workloads[1])
+    else:
+        if not args.baseline or not args.candidate:
+            raise SystemExit("repro diff needs <baseline> <candidate> — "
+                             "each a snapshot file, sweep journal, or "
+                             "cache directory — or two --workload flags")
+        try:
+            baseline = resolve_snapshot(args.baseline)
+            candidate = resolve_snapshot(args.candidate)
+        except SnapshotError as error:
+            raise SystemExit(str(error))
+    diff = diff_snapshots(baseline, candidate, policy=policy)
+    report = build_diff_report(diff, unchanged=args.unchanged)
+    out = Path(args.out) if args.out else _reports_dir()
+    stem = f"diff_{baseline.checksum()}_vs_{candidate.checksum()}"
+    for path in write_run_report(report, out, stem, html=args.html):
+        print(path)
+    counts = diff.verdict_counts()
+    summary = ", ".join(f"{verdict}={count}"
+                        for verdict, count in counts.items() if count)
+    print(f"verdicts: {summary or 'no metric cells compared'}")
+    if diff.identical:
+        print("canonical payloads are identical")
+    code = diff.exit_code(args.fail_on_regress)
+    if code:
+        print(f"{len(diff.regressions)} regressed cell(s): exit {code}")
+    return code
 
 
 def cmd_workload(args) -> int:
@@ -701,6 +842,10 @@ def build_parser() -> argparse.ArgumentParser:
                                    "resume a killed sweep from its journal")
     sweep_parser.add_argument("--journal", default=None, metavar="PATH",
                               help="explicit journal file (implies --resume)")
+    sweep_parser.add_argument("--snapshot", default=None, metavar="PATH",
+                              help="freeze the sweep as a diffable "
+                                   "SweepSnapshot artifact (repro diff; "
+                                   "DESIGN.md §15)")
     _add_common(sweep_parser)
     _add_faults(sweep_parser)
     _add_workload(sweep_parser)
@@ -752,6 +897,9 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--out", default=None, metavar="DIR",
                                help="output directory "
                                     "(default: results/reports/)")
+    report_parser.add_argument("--snapshot", default=None, metavar="PATH",
+                               help="with --sweep: also freeze the sweep "
+                                    "as a diffable SweepSnapshot artifact")
     _add_common(report_parser)
     _add_faults(report_parser)
     _add_workload(report_parser)
@@ -777,6 +925,43 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload(trace_parser)
     _add_jobs(trace_parser)
     trace_parser.set_defaults(func=cmd_trace)
+
+    diff_parser = commands.add_parser(
+        "diff", help="compare two sweep snapshots (CI regression gate)")
+    diff_parser.add_argument("baseline", nargs="?", default=None,
+                             help="baseline: snapshot file, sweep journal "
+                                  "(.jsonl), or result-cache directory")
+    diff_parser.add_argument("candidate", nargs="?", default=None,
+                             help="candidate: snapshot file, sweep journal "
+                                  "(.jsonl), or result-cache directory")
+    diff_parser.add_argument("--workload", action="append", default=None,
+                             metavar="NAME|PATH",
+                             help="give twice to sweep and diff two "
+                                  "workload scenarios side by side "
+                                  "(instead of positional snapshots)")
+    diff_parser.add_argument("-p", "--processors", type=int, default=4,
+                             help="processor count for --workload sweeps")
+    diff_parser.add_argument("--grid", default=None,
+                             help="warehouse grid for --workload sweeps "
+                                  "(comma-separated)")
+    diff_parser.add_argument("--thresholds", default=None,
+                             metavar="POLICY.yaml",
+                             help="per-metric threshold overrides "
+                                  "(YAML/JSON; see DESIGN.md §15)")
+    diff_parser.add_argument("--fail-on-regress", action="store_true",
+                             help="exit 3 when any metric cell regressed "
+                                  "beyond its threshold (the CI gate)")
+    diff_parser.add_argument("--unchanged", action="store_true",
+                             help="include unchanged cells in the delta "
+                                  "table (default: movement only)")
+    diff_parser.add_argument("--html", action="store_true",
+                             help="also write an HTML diff report")
+    diff_parser.add_argument("--out", default=None, metavar="DIR",
+                             help="output directory "
+                                  "(default: results/reports/)")
+    _add_common(diff_parser)
+    _add_jobs(diff_parser)
+    diff_parser.set_defaults(func=cmd_diff)
 
     workload_parser = commands.add_parser(
         "workload", help="list/show/validate declarative workloads")

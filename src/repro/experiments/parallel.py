@@ -294,7 +294,9 @@ def run_many(specs: Sequence[RunSpec], jobs: Optional[int] = None,
 
 def run_telemetry(specs: Sequence[RunSpec], jobs: Optional[int] = None,
                   use_cache: bool = True,
-                  cache_dir: Optional[Union[str, Path]] = None
+                  cache_dir: Optional[Union[str, Path]] = None,
+                  on_result: Optional[Callable[[RunSpec, PointTelemetry],
+                                               None]] = None
                   ) -> list[PointTelemetry]:
     """Run specs like :func:`run_many`, returning per-point telemetry.
 
@@ -305,7 +307,10 @@ def run_telemetry(specs: Sequence[RunSpec], jobs: Optional[int] = None,
     untraced sweep (DESIGN.md §9).  When a metrics registry is active
     in the parent, every point's counters are merged into it, so
     ``cache.hits`` / ``runner.rounds`` style totals aggregate across
-    the sweep exactly as they would serially.
+    the sweep exactly as they would serially.  ``on_result(spec,
+    point)`` fires in the parent as each point completes (completion
+    order) — the hook telemetry sweeps use for journal appends and
+    incremental snapshot writes.
     """
     workers = min(effective_jobs(jobs), len(specs)) if specs else 1
     cache_dir_text = str(cache_dir) if cache_dir is not None else None
@@ -314,8 +319,10 @@ def run_telemetry(specs: Sequence[RunSpec], jobs: Optional[int] = None,
     def run_remaining() -> None:
         for index, spec in enumerate(specs):
             if points[index] is None:
-                points[index] = _run_spec_telemetry(spec, cache_dir_text,
-                                                    use_cache)
+                point = _run_spec_telemetry(spec, cache_dir_text, use_cache)
+                points[index] = point
+                if on_result is not None:
+                    on_result(spec, point)
 
     if workers <= 1:
         run_remaining()
@@ -328,7 +335,11 @@ def run_telemetry(specs: Sequence[RunSpec], jobs: Optional[int] = None,
                     for index, spec in enumerate(specs)
                 }
                 for future in as_completed(futures):
-                    points[futures[future]] = future.result()
+                    index = futures[future]
+                    point = future.result()
+                    points[index] = point
+                    if on_result is not None:
+                        on_result(specs[index], point)
         except _POOL_FAILURES:
             # Same degradation contract as run_many: points that
             # completed under the pool are kept, and the serial pass
@@ -353,18 +364,24 @@ def sweep_telemetry(warehouse_grid, processors: int,
                     jobs: Optional[int] = None,
                     cache_dir: Optional[Union[str, Path]] = None,
                     shards=None, policy=None, chaos=None, supervisor=None,
-                    workload: Optional[WorkloadSpec] = None
+                    workload: Optional[WorkloadSpec] = None,
+                    journal: Optional[Union[SweepJournal, str]] = None
                     ) -> list[PointTelemetry]:
     """A warehouse sweep that returns telemetry for every point.
 
     The observability companion to :func:`sweep_parallel`: same grid,
     same (bit-identical) results, but each point also carries its
     manifest, serialized span tree, and metrics — the inputs
-    :mod:`repro.obs.sweep_report` and
-    :mod:`repro.obs.trace_export` aggregate.  Passing any of
+    :mod:`repro.obs.sweep_report`, :mod:`repro.obs.trace_export`, and
+    :mod:`repro.obs.snapshot` aggregate.  Passing any of
     ``shards``/``policy``/``chaos``/``supervisor`` routes execution
     through :mod:`repro.experiments.supervisor` (fault-tolerant sharded
-    dispatch) instead of the plain pool.
+    dispatch) instead of the plain pool.  A ``journal`` gives the
+    telemetry sweep the same checkpoint/resume contract as
+    :func:`sweep_parallel`: journaled points are reused without running
+    (their manifests come from the cache; they carry no trace, like any
+    cache hit), and fresh points are journaled from the parent as they
+    complete.
     """
     specs = []
     for warehouses in warehouse_grid:
@@ -381,8 +398,35 @@ def sweep_telemetry(warehouse_grid, processors: int,
         return supervised_run_telemetry(
             specs, shards=shards, policy=policy, chaos=chaos, jobs=jobs,
             use_cache=use_cache, cache_dir=cache_dir, supervisor=supervisor)
-    return run_telemetry(specs, jobs=jobs, use_cache=use_cache,
-                         cache_dir=cache_dir)
+    if journal is None:
+        return run_telemetry(specs, jobs=jobs, use_cache=use_cache,
+                             cache_dir=cache_dir)
+
+    if not isinstance(journal, SweepJournal):
+        journal = SweepJournal(journal)
+    from repro.experiments.runner import default_cache
+
+    cache = (ResultCache(Path(cache_dir)) if cache_dir is not None
+             else default_cache())
+    completed = journal.load()
+    pending = [spec for spec in specs if spec.key() not in completed]
+
+    def journal_point(spec: RunSpec, point: PointTelemetry) -> None:
+        journal.record(spec.key(), point.result)
+
+    fresh = run_telemetry(pending, jobs=jobs, use_cache=use_cache,
+                          cache_dir=cache_dir, on_result=journal_point)
+    by_key = {spec.key(): point for spec, point in zip(pending, fresh)}
+    points = []
+    for spec in specs:
+        if spec.key() in by_key:
+            points.append(by_key[spec.key()])
+        else:
+            points.append(PointTelemetry(
+                spec=spec, result=completed[spec.key()],
+                manifest=cache.load_manifest(spec.key()),
+                trace={}, metrics=None))
+    return points
 
 
 def map_parallel(fn: Callable[[T], R], items: Sequence[T],

@@ -59,6 +59,17 @@ class ConvergenceError(RuntimeError):
             f"history={self.history!r}")
 
 
+class JournalOwnershipError(RuntimeError):
+    """The journal is (or was) claimed by another live coordinator.
+
+    Raised by :meth:`SweepJournal.acquire` when a different coordinator
+    holds the lock and its process is still alive, and by
+    :meth:`SweepJournal.record` when an acquired lock has been broken
+    out from under us — the split-brain case where continuing to append
+    would interleave two coordinators' output.
+    """
+
+
 class WatchdogTimeout(RuntimeError):
     """One configuration exceeded its wall-clock budget."""
 
@@ -146,6 +157,19 @@ class ConvergenceGuard:
         return user_cpi, os_cpi
 
 
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a lock holder's process."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    except OSError:  # pragma: no cover - exotic kernels
+        return False
+    return True
+
+
 def _fsync_dir(path: Path) -> None:
     """fsync a directory so a just-created/renamed entry is durable.
 
@@ -189,6 +213,20 @@ class SweepJournal:
     Quarantine events are counted (``journal.quarantined``) and
     streamed through :mod:`repro.obs.metrics` when a registry is
     active.
+
+    **Split-brain protection:** two coordinators appending to the same
+    journal would interleave records (and, on a torn tail, fuse them).
+    :meth:`acquire` claims exclusive append rights through an
+    ``O_EXCL``-created ``<journal>.lock`` sidecar naming the owner and
+    its pid; a second coordinator's ``acquire`` raises
+    :class:`JournalOwnershipError` while the first is alive, and breaks
+    the lock automatically once the holder's process is gone (crash
+    recovery needs no manual cleanup).  An acquired journal re-checks
+    the lock on every ``record`` and refuses to append if ownership was
+    stolen.  Locking is opt-in — single-coordinator sweeps are
+    unaffected — but duplicate suppression is always on: re-recording a
+    key with a bit-identical result is a no-op, so retried points never
+    write twice.
     """
 
     def __init__(self, path: Path | str):
@@ -198,11 +236,103 @@ class SweepJournal:
         #: Lines moved to the quarantine sidecar over this journal's
         #: lifetime.
         self.quarantined = 0
+        #: Owner token while this instance holds the lock (see
+        #: :meth:`acquire`); ``None`` when unlocked.
+        self.owner: Optional[str] = None
+        # key -> payload checksum of every record this instance has
+        # appended or loaded; the duplicate-append suppression set.
+        self._recorded: dict[str, str] = {}
 
     @property
     def quarantine_path(self) -> Path:
         """The sidecar file bad journal lines are moved into."""
         return self.path.with_name(self.path.name + ".quarantine")
+
+    @property
+    def lock_path(self) -> Path:
+        """The ownership lock sidecar (see :meth:`acquire`)."""
+        return self.path.with_name(self.path.name + ".lock")
+
+    def _read_lock(self) -> Optional[dict]:
+        """The current lock holder's ``{"owner", "pid"}``, or ``None``."""
+        try:
+            entry = json.loads(self.lock_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(entry, dict) or "owner" not in entry:
+            return None
+        return entry
+
+    def acquire(self, owner: Optional[str] = None,
+                attempts: int = 5) -> str:
+        """Claim exclusive append rights; returns the owner token.
+
+        ``owner`` defaults to a pid-derived token.  Re-acquiring with
+        the token already on the lock is a no-op (idempotent).  A lock
+        held by a *dead* process is broken and taken over; a lock held
+        by a live one raises :class:`JournalOwnershipError`.
+        """
+        if owner is None:
+            owner = f"pid-{os.getpid()}"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"owner": owner, "pid": os.getpid()})
+        for _attempt in range(attempts):
+            try:
+                fd = os.open(self.lock_path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                holder = self._read_lock()
+                if holder is not None and holder.get("owner") == owner:
+                    self.owner = owner
+                    return owner
+                pid = holder.get("pid") if holder is not None else None
+                if holder is not None and isinstance(pid, int) \
+                        and _pid_alive(pid):
+                    raise JournalOwnershipError(
+                        f"journal {self.path} is owned by "
+                        f"{holder['owner']!r} (pid {pid}, alive)")
+                # Holder is dead (or the lock is unreadable garbage):
+                # break the stale lock and race for it again.
+                if _metrics.ACTIVE:
+                    _metrics.inc("journal.stale_locks_broken")
+                try:
+                    self.lock_path.unlink()
+                except FileNotFoundError:
+                    pass
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            _fsync_dir(self.path.parent)
+            self.owner = owner
+            return owner
+        raise JournalOwnershipError(
+            f"could not acquire journal lock {self.lock_path} "
+            f"after {attempts} attempt(s)")
+
+    def release(self) -> None:
+        """Drop the ownership lock (no-op when not held by us)."""
+        if self.owner is None:
+            return
+        holder = self._read_lock()
+        if holder is not None and holder.get("owner") == self.owner:
+            try:
+                self.lock_path.unlink()
+            except OSError:  # pragma: no cover - read-only journal dir
+                pass
+        self.owner = None
+
+    def _check_ownership(self) -> None:
+        """Refuse to append when an acquired lock was stolen/broken."""
+        if self.owner is None:
+            return
+        holder = self._read_lock()
+        if holder is None or holder.get("owner") != self.owner:
+            taken = holder.get("owner") if holder is not None else None
+            raise JournalOwnershipError(
+                f"lost ownership of journal {self.path}: lock now held "
+                f"by {taken!r}")
 
     def load(self) -> dict[str, ConfigResult]:
         """Completed points by cache key; repairs a torn/corrupt tail.
@@ -214,6 +344,7 @@ class SweepJournal:
         a ``load``.
         """
         self.skipped = 0
+        self._recorded = {}
         completed: dict[str, ConfigResult] = {}
         if not self.path.exists():
             return completed
@@ -233,6 +364,7 @@ class SweepJournal:
                         raise ValueError("journal checksum mismatch")
                     completed[entry["key"]] = ConfigResult.from_dict(
                         entry["result"])
+                    self._recorded[entry["key"]] = entry["checksum"]
                 except (json.JSONDecodeError, SchemaMismatchError, ValueError,
                         KeyError, TypeError):
                     self.skipped += 1
@@ -279,12 +411,25 @@ class SweepJournal:
                               line=lineno)
 
     def record(self, key: str, result: ConfigResult) -> None:
-        """Durably append one completed point."""
+        """Durably append one completed point.
+
+        Idempotent per (key, payload): re-recording a key with a
+        bit-identical result (a retried point, a resumed sweep) is
+        suppressed rather than appended twice.  Raises
+        :class:`JournalOwnershipError` when this instance had acquired
+        the journal but no longer holds its lock.
+        """
+        self._check_ownership()
         payload = result.to_dict()
+        checksum = payload_checksum(payload)
+        if self._recorded.get(key) == checksum:
+            if _metrics.ACTIVE:
+                _metrics.inc("journal.duplicate_skips")
+            return
         entry = {
             "key": key,
             "schema_version": SCHEMA_VERSION,
-            "checksum": payload_checksum(payload),
+            "checksum": checksum,
             "result": payload,
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -293,6 +438,7 @@ class SweepJournal:
             handle.write(json.dumps(entry) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        self._recorded[key] = checksum
         if created:
             # First append created the file: sync the directory entry
             # too, or a crash can lose the whole journal despite the

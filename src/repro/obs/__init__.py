@@ -33,6 +33,15 @@ three axes:
   manifests/traces/metrics into one dashboard: per-point cost, cache
   provenance, fixed-point convergence trajectories, and the
   slowest-phase flame table.
+- :mod:`repro.obs.snapshot` — a schema-versioned, deterministic
+  :class:`~repro.obs.snapshot.SweepSnapshot` artifact freezing a whole
+  sweep (per-point metrics, flame tables, registry totals, provenance)
+  for later comparison; writable from live sweeps and reconstructable
+  from cache/journal directories.
+- :mod:`repro.obs.diff` — structured comparison of two snapshots
+  (grid alignment, per-metric deltas under a threshold policy,
+  flame/counter/provenance diffs) behind ``repro diff`` and its
+  ``--fail-on-regress`` CI gate.
 
 Typical use::
 
@@ -49,6 +58,13 @@ or via the CLI: ``python -m repro report -w 100 -p 4``.
 
 from __future__ import annotations
 
+from repro.obs.diff import (
+    REGRESSION_EXIT_CODE,
+    SnapshotDiff,
+    ThresholdPolicy,
+    build_diff_report,
+    diff_snapshots,
+)
 from repro.obs.manifest import MANIFEST_VERSION, RunManifest, git_revision
 from repro.obs.metrics import (
     MetricsRegistry,
@@ -61,6 +77,13 @@ from repro.obs.provenance import (
     CounterProvenance,
     EmonProvenance,
     emon_provenance,
+)
+from repro.obs.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    SweepSnapshot,
+    point_key,
+    resolve_snapshot,
 )
 from repro.obs.sweep_report import (
     SweepTelemetry,
@@ -87,6 +110,16 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "REGRESSION_EXIT_CODE",
+    "SnapshotDiff",
+    "ThresholdPolicy",
+    "build_diff_report",
+    "diff_snapshots",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "SweepSnapshot",
+    "point_key",
+    "resolve_snapshot",
     "MANIFEST_VERSION",
     "RunManifest",
     "git_revision",

@@ -50,9 +50,13 @@ def fake_result(warehouses: int, processors: int = 1) -> SimpleNamespace:
         clients=8 * warehouses,
         processors=processors,
         tps=100.0 + warehouses,
-        cpi=SimpleNamespace(cpi=4.2),
+        tps_ironlaw=110.0 + warehouses,
+        cpi=SimpleNamespace(cpi=4.2, user_cpi=4.0, os_cpi=5.1),
         rates=SimpleNamespace(l3_misses_per_instr=0.0123),
-        system=SimpleNamespace(cpu_utilization=0.87),
+        system=SimpleNamespace(cpu_utilization=0.87,
+                               reads_per_txn=0.25,
+                               context_switches_per_txn=1.5),
+        fixed_point_rounds=2,
     )
 
 
@@ -254,3 +258,68 @@ class TestWorkerTracks:
         # No fleet: the section is absent, exactly as before the fabric.
         plain = build_sweep_report([fake_point(10)])
         assert "Fabric workers" not in [s.title for s in plain.sections]
+
+
+class TestEdgeCases:
+    """Pin the degenerate shapes: empty sweep, one point, missing parts."""
+
+    def test_empty_sweep_renders_without_sections(self):
+        report = build_sweep_report([])
+        markdown = report.to_markdown()
+        assert "(no points)" in markdown
+        assert "<html>" not in markdown
+        assert report.to_html().startswith("<!DOCTYPE html>")
+
+    def test_all_none_points_behave_like_empty(self):
+        report = build_sweep_report([None, None])
+        assert report.sections == []
+        assert report.title == "Sweep report — (no points)"
+
+    def test_single_point_sweep(self):
+        report = build_sweep_report([fake_point(10)])
+        summary = next(s for s in report.sections
+                       if s.title == "Sweep summary")
+        assert len(summary.rows) == 1
+        assert report.title == "Sweep report — odb-2003 P=1 W∈{10}"
+        markdown = report.to_markdown()
+        assert "W=10" in markdown
+
+    def test_point_without_manifest_still_renders(self):
+        bare = PointTelemetry(
+            spec=RunSpec(warehouses=10, processors=1,
+                         settings=FAST_SETTINGS),
+            result=fake_result(10), manifest=None, trace=fake_trace(),
+            metrics=None)
+        report = build_sweep_report([bare])
+        titles = [section.title for section in report.sections]
+        assert "Sweep summary" in titles
+        # Convergence needs manifests (round deltas); without any, the
+        # section is dropped rather than rendered empty.
+        assert "Fixed-point convergence" not in titles
+        report.to_markdown()  # renders without raising
+
+    def test_point_without_metrics_drops_totals_section(self):
+        quiet = PointTelemetry(
+            spec=RunSpec(warehouses=10, processors=1,
+                         settings=FAST_SETTINGS),
+            result=fake_result(10), manifest=None, trace=fake_trace(),
+            metrics=None)
+        titles = [s.title for s in build_sweep_report([quiet]).sections]
+        assert "Metrics totals" not in titles
+
+    def test_mixed_present_and_missing_telemetry(self):
+        full = fake_point(10)
+        bare = PointTelemetry(
+            spec=RunSpec(warehouses=25, processors=1,
+                         settings=FAST_SETTINGS),
+            result=fake_result(25), manifest=None, trace={}, metrics=None)
+        report = build_sweep_report([full, bare])
+        summary = next(s for s in report.sections
+                       if s.title == "Sweep summary")
+        assert len(summary.rows) == 2  # both points listed regardless
+        report.to_markdown()
+
+    def test_empty_events_list_adds_no_degradation_section(self):
+        report = build_sweep_report([fake_point(10)], events=[])
+        titles = [s.title for s in report.sections]
+        assert all("egradation" not in t for t in titles)

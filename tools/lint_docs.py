@@ -11,8 +11,8 @@ new packages), run by the CI ``docs`` job:
   file or directory that exists (anchors and external URLs are
   skipped);
 - every ``repro`` CLI subcommand registered in ``src/repro/cli.py``
-  must be mentioned in the README (as ``repro <name>``), so new verbs
-  cannot land undocumented;
+  must be mentioned in the README *and* in the ``docs/API.md`` CLI
+  table (as ``repro <name>``), so new verbs cannot land undocumented;
 - every shipped workload scenario must have a catalog row in
   ``docs/WORKLOADS.md`` and every public spec dataclass field must be
   documented there (backticked), so new spec knobs and scenarios
@@ -21,8 +21,10 @@ new packages), run by the CI ``docs`` job:
   every ``§N`` cross-reference in the Markdown docs and in ``src/repro``
   docstrings must point at a section that exists, and the design ↔ API
   module maps must stay in sync: every ``repro.<pkg>`` heading in
-  ``docs/API.md`` is a real package/module and every ``src/repro``
-  subpackage has a module-map heading.
+  ``docs/API.md`` is a real package/module, every ``src/repro``
+  subpackage has a module-map heading, and every ``repro.obs`` module
+  has a backticked ``obs.<name>`` row — so a new observability module
+  (like ``obs.snapshot``/``obs.diff``) cannot land without API docs.
 
 Exit status is the number of problems found (0 = clean), each printed
 as ``path:line: message``.
@@ -146,18 +148,27 @@ def cli_subcommands(cli_path: Path) -> list[tuple[str, int]]:
 
 
 def check_cli_docs(repo: Path) -> list[str]:
-    """Undocumented-subcommand findings: CLI verbs absent from README."""
+    """Undocumented-subcommand findings: CLI verbs absent from the docs.
+
+    Every registered verb must be mentioned as ``repro <name>`` both in
+    README.md (the narrative) and in docs/API.md (the CLI reference
+    table), so a verb like ``repro diff`` cannot ship documented in one
+    place but invisible in the other.
+    """
     cli_path = repo / "src" / "repro" / "cli.py"
-    readme = repo / "README.md"
-    if not cli_path.exists() or not readme.exists():  # pragma: no cover
+    if not cli_path.exists():  # pragma: no cover - repo invariant
         return []
-    text = readme.read_text(encoding="utf-8")
     problems = []
-    for name, line in cli_subcommands(cli_path):
-        if not re.search(rf"repro {re.escape(name)}\b", text):
-            problems.append(
-                f"src/repro/cli.py:{line}: subcommand {name!r} is not "
-                f"documented in README.md (no 'repro {name}' mention)")
+    for doc in (repo / "README.md", repo / "docs" / "API.md"):
+        if not doc.exists():  # pragma: no cover - repo invariant
+            continue
+        text = doc.read_text(encoding="utf-8")
+        rel = doc.relative_to(repo)
+        for name, line in cli_subcommands(cli_path):
+            if not re.search(rf"repro {re.escape(name)}\b", text):
+                problems.append(
+                    f"src/repro/cli.py:{line}: subcommand {name!r} is not "
+                    f"documented in {rel} (no 'repro {name}' mention)")
     return problems
 
 
@@ -260,6 +271,31 @@ def check_api_module_map(repo: Path) -> list[str]:
     return problems
 
 
+def check_obs_module_rows(repo: Path) -> list[str]:
+    """docs/API.md ↔ repro.obs module-row drift findings.
+
+    The obs package grows a module per subsystem (tracing, manifest,
+    metrics, sweep_report, snapshot, diff, ...); each must have a
+    backticked ``obs.<name>`` mention in docs/API.md so the module
+    table stays complete as the package grows.
+    """
+    api = repo / "docs" / "API.md"
+    obs_dir = SOURCE_ROOT / "obs"
+    if not api.exists() or not obs_dir.is_dir():  # pragma: no cover
+        return []
+    text = api.read_text(encoding="utf-8")
+    documented = set(re.findall(r"`(?:repro\.)?obs\.([a-z_]+)`", text))
+    problems = []
+    for path in sorted(obs_dir.glob("*.py")):
+        if path.stem.startswith("_"):
+            continue
+        if path.stem not in documented:
+            problems.append(
+                f"src/repro/obs/{path.name}:1: module 'obs.{path.stem}' "
+                f"has no backticked `obs.{path.stem}` row in docs/API.md")
+    return problems
+
+
 def _spec_dataclass_fields(spec_path: Path) -> list[tuple[str, str, int]]:
     """(class name, field name, line) for every spec dataclass field.
 
@@ -330,7 +366,8 @@ def main() -> int:
     """Run all checks; returns the number of problems found."""
     problems = (check_docstrings(SOURCE_ROOT) + check_links(REPO)
                 + check_cli_docs(REPO) + check_design_sections(REPO)
-                + check_api_module_map(REPO) + check_workload_docs(REPO))
+                + check_api_module_map(REPO) + check_obs_module_rows(REPO)
+                + check_workload_docs(REPO))
     for problem in problems:
         print(problem)
     if problems:
