@@ -7,6 +7,9 @@
     python -m repro sweep -p 4 --chart       # warehouse sweep (+ ASCII plot)
     python -m repro sweep -p 4 --resume      # checkpointed (kill-safe) sweep
     python -m repro sweep -p 4 --workers 3   # distributed sweep over fabric workers
+    python -m repro sweep -p 4 --workers 3 --bind 0.0.0.0:7461 \\
+        --fabric-secret secret.txt           # multi-host sweep (remote workers)
+    python -m repro fabric-worker --connect host:7461 --fabric-secret secret.txt
     python -m repro pivot -p 4 --metric cpi  # two-region fit and pivot
     python -m repro table1                   # the 90%-utilization search
     python -m repro variability -w 100 -p 4  # multi-seed error bars
@@ -45,7 +48,13 @@ failover, with the degradation timeline surfaced in sweep reports
 across ``N`` fabric worker processes over ``--transport`` stdio pipes
 or TCP sockets (:mod:`repro.fabric`): time-bounded leases, heartbeat
 liveness, idempotent journal appends, and graceful fallback to the
-local executor when the fleet is lost (DESIGN.md §12).
+local executor when the fleet is lost (DESIGN.md §12).  ``--bind
+HOST:PORT`` turns the coordinator multi-host: no local fleet is
+spawned, and remote hosts join with ``repro fabric-worker --connect
+HOST:PORT`` (reconnecting with deterministic backoff if the channel
+drops).  ``--fabric-secret PATH`` (or ``REPRO_FABRIC_SECRET``) enables
+HMAC-SHA256 authenticated framing on both ends; forged or replayed
+frames are rejected without failing the sweep (DESIGN.md §16).
 
 ``report`` runs one configuration with tracing enabled
 (:mod:`repro.obs`) and writes a Markdown (optionally HTML) dashboard —
@@ -92,7 +101,7 @@ from repro.experiments.configs import (
 )
 from repro.experiments.parallel import sweep_parallel
 from repro.experiments.report import render_series, render_table
-from repro.experiments.resilience import SweepJournal
+from repro.experiments.resilience import JournalOwnershipError, SweepJournal
 from repro.experiments.runner import (
     default_cache,
     run_configuration,
@@ -182,6 +191,39 @@ def _add_fabric(parser: argparse.ArgumentParser) -> None:
                         default="stdio",
                         help="fabric worker transport: stdio subprocess "
                              "pipes (default) or local TCP sockets")
+    parser.add_argument("--bind", default=None, metavar="HOST:PORT",
+                        help="listen for external fabric workers (repro "
+                             "fabric-worker --connect) instead of spawning "
+                             "a local fleet; implies --transport tcp")
+    parser.add_argument("--fabric-secret", default=None, metavar="PATH",
+                        help="file holding the shared secret for "
+                             "HMAC-authenticated framing (default: "
+                             "$REPRO_FABRIC_SECRET if set)")
+
+
+def _parse_hostport(text: str, flag: str) -> tuple[str, int]:
+    """Validate a ``HOST:PORT`` flag value with single-line errors."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(f"{flag} expects HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(f"{flag} port must be an integer, "
+                         f"got {port_text!r}")
+    if not 0 <= port <= 65535:
+        raise SystemExit(f"{flag} port {port} is outside [0, 65535]")
+    return host, port
+
+
+def _fabric_secret(args) -> Optional[str]:
+    """The shared fabric secret from flags/env, or None (unsigned)."""
+    from repro.fabric import resolve_fabric_secret
+
+    try:
+        return resolve_fabric_secret(getattr(args, "fabric_secret", None))
+    except ValueError as error:
+        raise SystemExit(str(error))
 
 
 def _fabric_coordinator(args):
@@ -191,7 +233,9 @@ def _fabric_coordinator(args):
     shares ``--retries`` with the supervised path and maps
     ``--point-timeout`` onto the lease timeout.  Mutually exclusive
     with ``--shards`` — the fabric already falls back to local sharded
-    execution when the fleet is lost.
+    execution when the fleet is lost.  ``--bind HOST:PORT`` makes the
+    coordinator listen for external ``repro fabric-worker`` processes
+    (the bound address is printed) instead of spawning a local fleet.
     """
     workers = getattr(args, "workers", None)
     if workers is None:
@@ -204,14 +248,29 @@ def _fabric_coordinator(args):
     from repro.experiments.supervisor import SupervisorPolicy
     from repro.fabric import FabricCoordinator, FabricPolicy
 
+    bind = getattr(args, "bind", None)
+    if bind is not None:
+        _parse_hostport(bind, "--bind")
+    secret = _fabric_secret(args)
     retries = getattr(args, "retries", None)
     timeout = getattr(args, "point_timeout", None)
     policy = SupervisorPolicy(
         max_retries=retries if retries is not None else 3,
         point_timeout_s=timeout)
-    fabric = FabricPolicy(workers=workers, transport=args.transport,
-                          lease_timeout_s=timeout)
-    return FabricCoordinator(policy=policy, fabric=fabric)
+    transport = "tcp" if bind is not None else args.transport
+    fabric = FabricPolicy(workers=workers, transport=transport,
+                          lease_timeout_s=timeout, secret=secret,
+                          bind=bind)
+    coordinator = FabricCoordinator(policy=policy, fabric=fabric)
+    if bind is not None:
+        try:
+            host, port = coordinator.listen().address
+        except OSError as error:
+            raise SystemExit(f"cannot bind {bind!r}: {error}")
+        auth = "authenticated" if secret else "UNAUTHENTICATED"
+        print(f"fabric: listening on {host}:{port} ({auth}); workers "
+              f"join with `repro fabric-worker --connect {host}:{port}`")
+    return coordinator
 
 
 def _print_fabric_summary(coordinator) -> None:
@@ -220,9 +279,17 @@ def _print_fabric_summary(coordinator) -> None:
     states = ", ".join(f"{h.name}={h.state}({h.completed})"
                        for h in health)
     print(f"fabric: {len(health)} worker(s): {states}")
+    reconnects = sum(h.reconnects for h in health)
+    revalidated = sum(h.revalidated for h in health)
+    auth_rejected = sum(1 for e in coordinator.events
+                        if e["event"] == "worker-auth-rejected")
+    if reconnects or revalidated or auth_rejected:
+        print(f"fabric: {auth_rejected} auth rejection(s), "
+              f"{reconnects} reconnect(s), "
+              f"{revalidated} lease(s) revalidated")
     degraded = [e for e in coordinator.events
                 if e["event"] not in ("fleet-started", "worker-ready",
-                                      "lease-granted")]
+                                      "worker-accepted", "lease-granted")]
     if degraded:
         kinds = ", ".join(sorted({e["event"] for e in degraded}))
         print(f"fabric: {len(degraded)} degradation event(s) ({kinds})")
@@ -380,26 +447,32 @@ def cmd_sweep(args) -> int:
         done = len(journal.load())
         print(f"journal: {journal.path} ({done} point(s) already complete)")
     coordinator = _fabric_coordinator(args)
-    if args.snapshot:
-        records, supervisor = _snapshot_sweep(args, grid, faults, workload,
-                                              journal, coordinator)
-    elif coordinator is not None:
-        from repro.fabric import fabric_sweep
+    try:
+        if args.snapshot:
+            records, supervisor = _snapshot_sweep(args, grid, faults,
+                                                  workload, journal,
+                                                  coordinator)
+        elif coordinator is not None:
+            from repro.fabric import fabric_sweep
 
-        supervisor = None
-        records = fabric_sweep(grid, args.processors,
-                               machine=_machine(args),
-                               settings=_settings(args), faults=faults,
-                               journal=journal, coordinator=coordinator,
-                               workload=workload)
-        _print_fabric_summary(coordinator)
-    else:
-        supervisor = _supervisor(args)
-        records = sweep_parallel(grid, args.processors,
-                                 machine=_machine(args),
-                                 settings=_settings(args), faults=faults,
-                                 journal=journal, jobs=args.jobs,
-                                 supervisor=supervisor, workload=workload)
+            supervisor = None
+            records = fabric_sweep(grid, args.processors,
+                                   machine=_machine(args),
+                                   settings=_settings(args), faults=faults,
+                                   journal=journal, coordinator=coordinator,
+                                   workload=workload)
+            _print_fabric_summary(coordinator)
+        else:
+            supervisor = _supervisor(args)
+            records = sweep_parallel(grid, args.processors,
+                                     machine=_machine(args),
+                                     settings=_settings(args),
+                                     faults=faults,
+                                     journal=journal, jobs=args.jobs,
+                                     supervisor=supervisor,
+                                     workload=workload)
+    except JournalOwnershipError as error:
+        raise SystemExit(str(error))
     if supervisor is not None and supervisor.events:
         degraded = [e for e in supervisor.events
                     if e["event"] != "point-straggling"]
@@ -813,6 +886,31 @@ def cmd_docs(args) -> int:
     return 0
 
 
+def cmd_fabric_worker(args) -> int:
+    """``repro fabric-worker``: join a remote coordinator's fleet.
+
+    Dials the coordinator's ``--bind`` address, serves leases, and
+    rejoins (session token + lease re-validation, deterministic
+    jittered backoff) when the channel drops — up to
+    ``--max-reconnects`` attempts before giving up.
+    """
+    import os
+    import socket
+
+    from repro.fabric import FabricChaosPolicy, run_with_reconnect
+
+    host, port = _parse_hostport(args.connect, "--connect")
+    secret = _fabric_secret(args)
+    chaos = (FabricChaosPolicy.from_json(args.chaos)
+             if args.chaos else None)
+    worker_id = (args.worker_id
+                 or f"{socket.gethostname()}-{os.getpid()}")
+    return run_with_reconnect(f"{host}:{port}", worker_id,
+                              heartbeat_s=args.heartbeat, chaos=chaos,
+                              secret=secret,
+                              max_reconnects=args.max_reconnects)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -982,6 +1080,28 @@ def build_parser() -> argparse.ArgumentParser:
                              help="fail (exit 1) on drift instead of "
                                   "rewriting (the CI doc-drift gate)")
     docs_parser.set_defaults(func=cmd_docs)
+
+    fw_parser = commands.add_parser(
+        "fabric-worker",
+        help="join a remote sweep coordinator as a fabric worker")
+    fw_parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                           help="the coordinator's --bind address")
+    fw_parser.add_argument("--worker-id", default=None,
+                           help="identity announced in the handshake "
+                                "(default: <hostname>-<pid>)")
+    fw_parser.add_argument("--fabric-secret", default=None, metavar="PATH",
+                           help="file holding the shared fabric secret "
+                                "(default: $REPRO_FABRIC_SECRET if set)")
+    fw_parser.add_argument("--heartbeat", type=float, default=0.25,
+                           metavar="S",
+                           help="seconds between heartbeat frames")
+    fw_parser.add_argument("--max-reconnects", type=int, default=10,
+                           metavar="N",
+                           help="rejoin attempts after a lost coordinator "
+                                "before giving up")
+    fw_parser.add_argument("--chaos", default=None,
+                           help="FabricChaosPolicy as JSON (test-only)")
+    fw_parser.set_defaults(func=cmd_fabric_worker)
 
     cache_parser = commands.add_parser("clear-cache",
                                        help="drop cached sweep results")

@@ -24,11 +24,35 @@ Robustness is the headline contract:
   finishes on a local
   :class:`~repro.experiments.supervisor.ShardedSupervisor` fallback.
 
+Multi-host hardening (DESIGN.md §16) layers on top:
+
+- **authenticated framing** — with a shared secret
+  (``--fabric-secret`` file or ``REPRO_FABRIC_SECRET``) every frame
+  carries an HMAC-SHA256 signature over ``nonce || sequence || body``
+  (:class:`~repro.fabric.protocol.FrameSigner`); the coordinator deals
+  the session nonce in a ``challenge`` frame, so forged, replayed, or
+  cross-sweep frames are rejected
+  (:class:`~repro.fabric.protocol.FrameAuthError`,
+  ``fabric.auth.rejected``) without failing the sweep;
+- **worker reconnect** — ``repro fabric-worker --connect host:port``
+  supervises sessions across lost channels with deterministic jittered
+  backoff; the session token issued in ``welcome`` lets the
+  coordinator rebind a rejoining worker and re-validate its in-flight
+  lease instead of double-executing it (``fabric.leases.revalidated``);
+- **coordinator crash-resume** — the journal's owner lock is held for
+  the sweep; a killed coordinator's stale lock is broken by
+  ``repro sweep --resume``, which re-leases only unjournaled points;
+- **read deadlines** — TCP readers bound the time a partially received
+  frame may stall, so half-open sockets and slow-loris peers are
+  quarantined instead of wedging a reader thread.
+
 Because every point is a pure function of its spec, none of this can
 change results: fabric sweeps are bit-identical to serial sweeps, which
 the deterministic :class:`~repro.fabric.chaos.FabricChaosPolicy` tests
 (worker SIGKILL mid-point, heartbeat blackhole, corrupt frames,
-duplicate-completion replay) pin in ``tests/fabric/``.
+duplicate-completion replay, latency, half-open sockets, slow-loris
+frames, asymmetric partitions, signed-frame replay, reconnect churn)
+pin in ``tests/fabric/``.
 """
 
 from repro.fabric.chaos import FabricChaosPolicy
@@ -42,10 +66,13 @@ from repro.fabric.coordinator import (
 )
 from repro.fabric.protocol import (
     PROTOCOL_VERSION,
+    FrameAuthError,
     FrameError,
+    FrameSigner,
     decode_frame,
     encode_frame,
     read_frame,
+    resolve_fabric_secret,
     write_frame,
 )
 from repro.fabric.transports import (
@@ -55,11 +82,25 @@ from repro.fabric.transports import (
     WorkerTransport,
 )
 
+
+def __getattr__(name):
+    # Lazy: importing repro.fabric.worker here would shadow the
+    # ``python -m repro.fabric.worker`` runpy entry in every spawned
+    # worker process (sys.modules double-import warning).
+    if name == "run_with_reconnect":
+        from repro.fabric.worker import run_with_reconnect
+
+        return run_with_reconnect
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "FabricChaosPolicy",
     "FabricCoordinator",
     "FabricPolicy",
+    "FrameAuthError",
     "FrameError",
+    "FrameSigner",
     "PROTOCOL_VERSION",
     "StdioTransport",
     "TcpListener",
@@ -72,5 +113,7 @@ __all__ = [
     "fabric_run_telemetry",
     "fabric_sweep",
     "read_frame",
+    "resolve_fabric_secret",
+    "run_with_reconnect",
     "write_frame",
 ]

@@ -16,7 +16,26 @@ idiom) so every chaos run replays identically:
 - ``corrupt`` — the worker emits a garbage frame before its result: the
   coordinator must quarantine the worker, not the sweep;
 - ``duplicate`` — the worker sends its result frame twice: the second
-  completion must be deduplicated, never double-journaled.
+  completion must be deduplicated, never double-journaled;
+- ``latency`` — the worker sleeps ``latency_s`` before sending the
+  result: leases must tolerate slow links without spurious expiry;
+- ``halfopen`` — the worker stops reading and writing without closing
+  the socket (no FIN): the coordinator's heartbeat timeout, not a
+  blocked read, must surface the loss;
+- ``sloworis`` — the worker trickles a frame one byte at a time slower
+  than the transport's read deadline: the reader must declare the
+  frame stalled and quarantine the worker;
+- ``partition`` — asymmetric partition: the worker keeps *sending*
+  heartbeats but stops *receiving* coordinator frames, so its lease
+  can never renew and the coordinator must expire it;
+- ``replay`` — the worker records its signed result frame and sends
+  the identical bytes again: on an authenticated channel the stale
+  sequence number must be rejected (``fabric.auth.rejected``) without
+  failing the sweep;
+- ``disconnect`` — the worker closes its socket after finishing the
+  point and exits with the reconnect status code: the
+  ``repro fabric-worker`` supervisor loop must dial back in, resume
+  its session by token, and carry on.
 
 Chaos fires only on the first ``attempts`` attempts of a point, so any
 retry budget ``>= attempts`` is guaranteed to converge; ``targets``
@@ -33,8 +52,12 @@ from typing import Optional
 
 from repro.experiments.supervisor import _unit_hash
 
-#: The fabric fault kinds, in draw order.
-FABRIC_FAULTS = ("kill", "blackhole", "corrupt", "duplicate")
+#: The fabric fault kinds, in draw order.  New kinds append after the
+#: original four so a policy that only uses the old kinds draws
+#: identically to PR 6.
+FABRIC_FAULTS = ("kill", "blackhole", "corrupt", "duplicate",
+                 "latency", "halfopen", "sloworis", "partition",
+                 "replay", "disconnect")
 
 
 @dataclass(frozen=True)
@@ -46,10 +69,18 @@ class FabricChaosPolicy:
     blackhole: float = 0.0
     corrupt: float = 0.0
     duplicate: float = 0.0
+    latency: float = 0.0
+    halfopen: float = 0.0
+    sloworis: float = 0.0
+    partition: float = 0.0
+    replay: float = 0.0
+    disconnect: float = 0.0
     attempts: int = 1
     #: How long a blackholed worker sits on its finished result before
     #: sending it anyway (to exercise the dedup path).
     delay_s: float = 2.0
+    #: Injected send delay for the ``latency`` fault.
+    latency_s: float = 0.1
     targets: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -62,6 +93,8 @@ class FabricChaosPolicy:
             raise ValueError("attempts must be >= 0")
         if self.delay_s < 0:
             raise ValueError("delay_s must be >= 0")
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be >= 0")
         object.__setattr__(self, "targets", tuple(self.targets))
 
     def action(self, key: str, attempt: int) -> Optional[str]:

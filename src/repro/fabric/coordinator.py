@@ -34,6 +34,7 @@ are descriptive telemetry only.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -54,9 +55,14 @@ from repro.experiments.supervisor import (
     default_shards,
 )
 from repro.fabric.chaos import FabricChaosPolicy
-from repro.fabric.protocol import PROTOCOL_VERSION, FrameError
+from repro.fabric.protocol import (
+    PROTOCOL_VERSION,
+    FrameAuthError,
+    FrameError,
+)
 from repro.fabric.transports import (
     CHANNEL_CLOSED,
+    DEFAULT_READ_DEADLINE_S,
     TcpListener,
     WorkerTransport,
     close_transports,
@@ -91,6 +97,17 @@ class FabricPolicy:
     handshake_timeout_s: float = 10.0
     tick_s: float = 0.02
     close_timeout_s: float = 5.0
+    #: Shared secret enabling authenticated framing (``None`` = off).
+    secret: Optional[str] = None
+    #: ``host:port`` to bind the TCP listener on for *external* workers
+    #: (``repro fabric-worker --connect``); no local fleet is spawned.
+    bind: Optional[str] = None
+    #: Mid-frame read deadline on TCP channels (half-open detection).
+    read_deadline_s: float = DEFAULT_READ_DEADLINE_S
+    #: How long a bind-mode coordinator waits with zero usable workers
+    #: (fleet still joining, or rejoining after a partition) before
+    #: degrading to the local fallback.
+    accept_grace_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -107,6 +124,12 @@ class FabricPolicy:
             raise ValueError("worker_failure_threshold must be >= 1")
         if self.handshake_timeout_s <= 0 or self.tick_s <= 0:
             raise ValueError("timeouts must be positive")
+        if self.bind is not None and self.transport != "tcp":
+            raise ValueError("bind requires the tcp transport")
+        if self.read_deadline_s <= 0:
+            raise ValueError("read_deadline_s must be positive")
+        if self.accept_grace_s < 0:
+            raise ValueError("accept_grace_s must be >= 0")
 
 
 @dataclass
@@ -120,6 +143,8 @@ class WorkerHealth:
     completed: int = 0
     failures: int = 0
     duplicates: int = 0
+    reconnects: int = 0
+    revalidated: int = 0
 
 
 #: Worker states.  ``connecting`` → ``ready`` on handshake; ``ready`` ↔
@@ -143,6 +168,9 @@ class _WorkerRuntime:
         self.completed = 0
         self.failures = 0
         self.duplicates = 0
+        self.reconnects = 0
+        self.revalidated = 0
+        self.token: Optional[str] = None
         self.point = None
         self.last_beat = now
         self.last_strike = now
@@ -153,7 +181,9 @@ class _WorkerRuntime:
         return WorkerHealth(name=self.name, host=self.host, pid=self.pid,
                             state=self.state, completed=self.completed,
                             failures=self.failures,
-                            duplicates=self.duplicates)
+                            duplicates=self.duplicates,
+                            reconnects=self.reconnects,
+                            revalidated=self.revalidated)
 
 
 _WAITING, _RUNNING, _DONE = "waiting", "running", "done"
@@ -203,6 +233,9 @@ class FabricCoordinator:
         self._given_transports = list(transports) if transports else None
         self._workers: list[_WorkerRuntime] = []
         self._listener: Optional[TcpListener] = None
+        #: Session token → runtime, for reconnect rebinding.
+        self._tokens: dict[str, _WorkerRuntime] = {}
+        self._accept_counter = 0
         #: Ordered degradation timeline (dicts with ``seq``/``event``
         #: plus ``worker``/``key``/``reason`` fields as applicable).
         self.events: list[dict] = []
@@ -228,24 +261,76 @@ class FabricCoordinator:
     # ------------------------------------------------------------------
     # fleet lifecycle
 
+    def listen(self) -> TcpListener:
+        """Bind (or return) the TCP accept socket.
+
+        Called eagerly by the CLI in ``--bind`` mode so the bound
+        address can be printed before the sweep starts; ``run`` calls
+        it lazily otherwise.  The listener carries the fabric secret
+        and read deadline to every accepted transport.
+        """
+        if self._listener is None:
+            host, port = "127.0.0.1", 0
+            if self.fabric.bind is not None:
+                host, _, port_text = self.fabric.bind.rpartition(":")
+                port = int(port_text)
+            self._listener = TcpListener(
+                host, port, secret=self.fabric.secret,
+                read_deadline_s=self.fabric.read_deadline_s)
+        return self._listener
+
     def _spawn(self, now: float) -> None:
         chaos_json = self.chaos.to_json() if self.chaos is not None else None
         if self._given_transports is not None:
             transports = self._given_transports
+            for transport in transports:
+                # Prebuilt signed channels that were never challenged
+                # get their session nonce dealt now (idempotence guard:
+                # a challenge is always a signer's first send).
+                if (transport.signer is not None
+                        and transport.signer.send_seq == 0):
+                    transport.issue_challenge()
         elif self.fabric.transport == "tcp":
-            self._listener = TcpListener()
-            transports = launch_tcp_workers(
-                self.fabric.workers, self._listener,
-                heartbeat_s=self.fabric.heartbeat_s, chaos_json=chaos_json)
+            listener = self.listen()
+            if self.fabric.bind is not None:
+                # Bind mode: no local fleet — external workers join via
+                # ``repro fabric-worker --connect`` and are accepted by
+                # ``_accept_pending`` as they dial in.
+                transports = []
+            else:
+                transports = launch_tcp_workers(
+                    self.fabric.workers, listener,
+                    heartbeat_s=self.fabric.heartbeat_s,
+                    chaos_json=chaos_json)
         else:
             transports = launch_stdio_workers(
                 self.fabric.workers, heartbeat_s=self.fabric.heartbeat_s,
-                chaos_json=chaos_json)
+                chaos_json=chaos_json, secret=self.fabric.secret)
         self._workers = [
             _WorkerRuntime(transport, now, self.fabric.handshake_timeout_s)
             for transport in transports]
         self._event("fleet-started", workers=len(self._workers),
-                    transport=self.fabric.transport)
+                    transport=self.fabric.transport,
+                    bind=self.fabric.bind)
+
+    def _accept_pending(self, now: float) -> None:
+        """Admit workers dialing in mid-sweep (joins and reconnects)."""
+        if self._listener is None:
+            return
+        while True:
+            self._accept_counter += 1
+            try:
+                transport = self._listener.poll_accept(
+                    name=f"joined-{self._accept_counter}")
+            except OSError:  # pragma: no cover - listener torn down
+                return
+            if transport is None:
+                self._accept_counter -= 1
+                return
+            runtime = _WorkerRuntime(transport, now,
+                                     self.fabric.handshake_timeout_s)
+            self._workers.append(runtime)
+            self._event("worker-accepted", worker=transport.name)
 
     def _shutdown(self) -> None:
         for worker in self._workers:
@@ -379,30 +464,97 @@ class FabricCoordinator:
             worker.state = "ready"
             self._event("worker-recovered", worker=worker.name)
 
+    def _reject(self, worker: _WorkerRuntime, reason: str) -> None:
+        worker.transport.send({"type": "reject", "reason": reason})
+        worker.state = "rejected"
+        self._event("worker-rejected", worker=worker.name, reason=reason)
+        worker.transport.close(timeout_s=self.fabric.close_timeout_s)
+
     def _handle_hello(self, worker: _WorkerRuntime, message: dict,
                       now: float) -> None:
         if message["protocol"] != PROTOCOL_VERSION:
-            worker.transport.send({
-                "type": "reject",
-                "reason": f"protocol {message['protocol']} != "
-                          f"{PROTOCOL_VERSION}"})
-            worker.state = "rejected"
-            self._event("worker-rejected", worker=worker.name,
-                        reason=f"protocol {message['protocol']}")
-            worker.transport.close(timeout_s=self.fabric.close_timeout_s)
+            self._reject(worker, f"protocol {message['protocol']} != "
+                                 f"{PROTOCOL_VERSION}")
             return
+        token = message.get("token")
+        previous = (self._tokens.get(token)
+                    if isinstance(token, str) else None)
+        old_point = None
+        if previous is not None and previous is not worker:
+            if previous.state in ("quarantined", "rejected"):
+                self._reject(worker, f"resume refused: session was "
+                                     f"{previous.state}")
+                return
+            # The reconnecting worker supersedes its old channel: carry
+            # the counters across, drop the dead transport without a
+            # strike, and remember any lease it still nominally held.
+            if previous.state not in _TERMINAL_STATES:
+                previous.state = "lost"
+                self._event("worker-superseded", worker=previous.name)
+            old_point = previous.point
+            previous.point = None
+            previous.transport.close(timeout_s=self.fabric.close_timeout_s)
+            worker.completed = previous.completed
+            worker.failures = previous.failures
+            worker.duplicates = previous.duplicates
+            worker.revalidated = previous.revalidated
+            worker.reconnects = previous.reconnects + 1
+            self._event("worker-reconnected",
+                        worker=message["worker_id"],
+                        reconnects=worker.reconnects)
+            if _metrics.ACTIVE:
+                _metrics.inc("fabric.reconnect.attempts")
         worker.name = message["worker_id"]
         worker.transport.name = worker.name
         worker.host = message["host"]
         worker.pid = message["pid"]
+        if previous is not None:
+            worker.token = token
+        else:
+            worker.token = f"T{os.urandom(12).hex()}"
+        self._tokens[worker.token] = worker
         if not worker.transport.send({"type": "welcome",
-                                      "protocol": PROTOCOL_VERSION}):
+                                      "protocol": PROTOCOL_VERSION,
+                                      "token": worker.token}):
             self._lose(worker, "welcome send failed", now)
             return
         worker.state = "ready"
         worker.last_beat = now
         self._event("worker-ready", worker=worker.name, host=worker.host,
                     pid=worker.pid)
+        self._revalidate(worker, message.get("resuming"), old_point, now)
+
+    def _revalidate(self, worker: _WorkerRuntime, resuming,
+                    old_point, now: float) -> None:
+        """Re-validate a resumed worker's in-flight lease.
+
+        The worker claims it still holds a lease (its hello carried
+        ``resuming``) and will deliver the result momentarily.  When
+        the point is still open and un-leased, re-grant it — no
+        double-execution.  When it has finished or been re-leased
+        elsewhere, the incoming result simply dedups.  Any *other*
+        lease the old channel held goes back to the queue.
+        """
+        if isinstance(resuming, dict):
+            point = self._by_key.get(resuming.get("key"))
+            if (point is not None and point.state != _DONE
+                    and not any(peer.point is point
+                                for peer in self._workers)):
+                worker.point = point
+                point.state = _RUNNING
+                point.deadline = (now + self.fabric.lease_timeout_s
+                                  if self.fabric.lease_timeout_s is not None
+                                  else None)
+                worker.revalidated += 1
+                self._event("lease-revalidated", worker=worker.name,
+                            key=point.key, attempt=point.attempt)
+                if _metrics.ACTIVE:
+                    _metrics.inc("fabric.leases.revalidated")
+        if (old_point is not None and old_point.state == _RUNNING
+                and not any(peer.point is old_point
+                            for peer in self._workers)):
+            self._retry(old_point, RuntimeError(
+                f"{worker.name}: lease orphaned by reconnect"), now)
 
     def _handle_result(self, worker: _WorkerRuntime, message: dict,
                        now: float, on_result: Optional[Callable]) -> None:
@@ -445,6 +597,14 @@ class FabricCoordinator:
                     break
                 if item is CHANNEL_CLOSED:
                     self._lose(worker, "channel closed", now)
+                    break
+                if isinstance(item, FrameAuthError):
+                    # Forged, replayed, or cross-sweep frame: reject the
+                    # worker (its lease requeues), never the sweep.
+                    if _metrics.ACTIVE:
+                        _metrics.inc("fabric.auth.rejected")
+                    self._condemn(worker, "rejected",
+                                  "worker-auth-rejected", str(item), now)
                     break
                 if isinstance(item, FrameError):
                     self._quarantine(worker, f"malformed frame: {item}",
@@ -578,16 +738,28 @@ class FabricCoordinator:
         return self._results
 
     def _loop(self, on_result: Optional[Callable]) -> None:
+        grace_deadline: Optional[float] = None
         while True:
             if all(point.state == _DONE for point in self._points):
                 return
             now = time.monotonic()
+            self._accept_pending(now)
             self._poll(now, on_result)
             self._scan_liveness(now)
             self._scan_leases(now)
             if not self._usable():
+                if self.fabric.bind is not None:
+                    # Bind mode has no local fleet: external workers are
+                    # still joining (or rejoining after a partition).
+                    # Wait out the accept grace before degrading.
+                    if grace_deadline is None:
+                        grace_deadline = now + self.fabric.accept_grace_s
+                    if now < grace_deadline:
+                        time.sleep(self.fabric.tick_s)
+                        continue
                 self._run_fallback(on_result, "all workers lost")
                 return
+            grace_deadline = None
             self._assign(now)
             time.sleep(self.fabric.tick_s)
 
@@ -677,7 +849,14 @@ def fabric_sweep(warehouse_grid, processors: int,
     points already journaled are reused without leasing, the rest are
     distributed across the workers, and every completion is journaled
     from the coordinator — one deduplicated append stream no matter how
-    many workers (or re-leases) produced the results.
+    many workers (or re-leases) produced the results.  The journal's
+    owner lock is held for the duration: a second live coordinator on
+    the same journal raises
+    :class:`~repro.experiments.resilience.JournalOwnershipError`, while
+    a *crashed* coordinator's stale lock is broken automatically — the
+    crash-resume path (``repro sweep --workers N --resume``) re-reads
+    the journal, re-leases only the missing points, and appends each
+    exactly once.
     """
     from repro.experiments.configs import DEFAULT_SETTINGS
     from repro.hw.machine import XEON_MP_QUAD
@@ -696,22 +875,29 @@ def fabric_sweep(warehouse_grid, processors: int,
                              settings=settings, faults=faults,
                              workload=workload))
 
-    completed = journal.load() if journal is not None else {}
-    pending = [spec for spec in specs if spec.key() not in completed]
+    if journal is not None:
+        journal.acquire()
+    try:
+        completed = journal.load() if journal is not None else {}
+        pending = [spec for spec in specs if spec.key() not in completed]
 
-    def journal_point(spec: RunSpec, result: ConfigResult) -> None:
+        def journal_point(spec: RunSpec, result: ConfigResult) -> None:
+            if journal is not None:
+                journal.record(spec.key(), result)
+
+        fresh = fabric_run_many(pending, workers=workers,
+                                transport=transport,
+                                policy=policy, fabric=fabric, chaos=chaos,
+                                use_cache=use_cache, cache_dir=cache_dir,
+                                on_result=journal_point,
+                                coordinator=coordinator)
+        by_key = dict(completed)
+        for spec, result in zip(pending, fresh):
+            by_key[spec.key()] = result
+        return [by_key[spec.key()] for spec in specs]
+    finally:
         if journal is not None:
-            journal.record(spec.key(), result)
-
-    fresh = fabric_run_many(pending, workers=workers, transport=transport,
-                            policy=policy, fabric=fabric, chaos=chaos,
-                            use_cache=use_cache, cache_dir=cache_dir,
-                            on_result=journal_point,
-                            coordinator=coordinator)
-    by_key = dict(completed)
-    for spec, result in zip(pending, fresh):
-        by_key[spec.key()] = result
-    return [by_key[spec.key()] for spec in specs]
+            journal.release()
 
 
 __all__ = [

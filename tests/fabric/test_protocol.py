@@ -108,8 +108,9 @@ class TestFabricChaosPolicy:
         first = [policy.action(f"key-{i}", 0) for i in range(64)]
         assert first == [policy.action(f"key-{i}", 0) for i in range(64)]
         assert {a for a in first if a} <= set(FABRIC_FAULTS)
-        # every fault kind fires somewhere across 64 keys at sum=1.0
-        assert {a for a in first if a} == set(FABRIC_FAULTS)
+        # every configured kind fires somewhere across 64 keys at sum=1.0
+        assert {a for a in first if a} == {"kill", "blackhole", "corrupt",
+                                           "duplicate"}
         # past the attempt gate, chaos never fires: retries converge
         assert all(policy.action(f"key-{i}", 1) is None for i in range(64))
 

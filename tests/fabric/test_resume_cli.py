@@ -1,0 +1,209 @@
+"""Coordinator crash-resume acceptance tests over the real CLI: a
+SIGKILLed ``repro sweep --workers N --bind`` coordinator is relaunched
+with ``--resume`` while external ``repro fabric-worker`` processes
+reconnect, and the journal ends bit-identical to serial with
+exactly-once appends.  Plus the journal owner-lock interplay and
+``HOST:PORT`` flag validation."""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import _parse_hostport, main
+from repro.experiments.resilience import SweepJournal
+
+REPO = Path(__file__).resolve().parents[2]
+GRID = "10,20,30,40,50,60,70,80"
+SECRET = "resume-cli-secret"
+
+
+def cli_env(cache_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env.pop("REPRO_FABRIC_SECRET", None)
+    return env
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def journal_lines(path):
+    if not path.exists():
+        return []
+    lines = []
+    for line in path.read_text().splitlines():
+        try:
+            lines.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # torn tail mid-crash is expected and tolerated
+    return lines
+
+
+def reap(processes, timeout_s=15.0):
+    deadline = time.monotonic() + timeout_s
+    for process in processes:
+        remaining = max(0.1, deadline - time.monotonic())
+        try:
+            process.wait(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=10.0)
+
+
+class TestKillAndResumeCli:
+    def test_coordinator_sigkill_then_resume_is_exactly_once(
+            self, tmp_path):
+        """The acceptance scenario: 3 external workers over TCP, the
+        coordinator SIGKILLed mid-sweep after at least one journal
+        append, then relaunched with ``--resume`` on the same journal.
+        Workers reconnect; the final journal holds every point exactly
+        once with payloads bit-identical to a serial sweep."""
+        journal = tmp_path / "journal.jsonl"
+        secret_file = tmp_path / "secret.txt"
+        secret_file.write_text(SECRET + "\n")
+        port = free_port()
+        env = cli_env(tmp_path / "cache")
+        coordinator_cmd = [
+            sys.executable, "-m", "repro.cli", "sweep", "--fast",
+            "-p", "1", "--grid", GRID, "--workers", "3",
+            "--bind", f"127.0.0.1:{port}", "--journal", str(journal),
+            "--fabric-secret", str(secret_file)]
+        worker_cmds = [
+            [sys.executable, "-m", "repro.cli", "fabric-worker",
+             "--connect", f"127.0.0.1:{port}", "--worker-id", f"w{i}",
+             "--fabric-secret", str(secret_file), "--heartbeat", "0.1",
+             "--max-reconnects", "20"]
+            for i in range(3)]
+
+        workers = []
+        try:
+            first = subprocess.Popen(coordinator_cmd, env=env,
+                                     stdout=subprocess.PIPE,
+                                     stderr=subprocess.STDOUT)
+            workers = [subprocess.Popen(cmd, env=env,
+                                        stdout=subprocess.DEVNULL,
+                                        stderr=subprocess.DEVNULL)
+                       for cmd in worker_cmds]
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if journal_lines(journal):
+                    break
+                if first.poll() is not None:
+                    pytest.fail("coordinator exited before first append:"
+                                f" {first.stdout.read().decode()}")
+                time.sleep(0.01)
+            else:
+                pytest.fail("no journal append within 120s")
+            first.kill()  # SIGKILL: no cleanup, stale lock left behind
+            first.wait(timeout=30.0)
+            lines_at_kill = len(journal_lines(journal))
+            total = len(GRID.split(","))
+            assert 1 <= lines_at_kill < total
+            assert SweepJournal(journal).lock_path.exists()
+
+            second = subprocess.run(
+                coordinator_cmd + ["--resume"], env=env, timeout=300,
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+            output = second.stdout.decode()
+            assert second.returncode == 0, output
+            assert "local-fallback" not in output, output
+        finally:
+            reap(workers)
+
+        lines = journal_lines(journal)
+        keys = [entry["key"] for entry in lines]
+        assert len(keys) == total  # exactly-once: no duplicate appends
+        assert len(set(keys)) == total
+
+        serial_journal = tmp_path / "serial.jsonl"
+        serial = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "sweep", "--fast",
+             "-p", "1", "--grid", GRID, "--journal", str(serial_journal)],
+            env=cli_env(tmp_path / "serial-cache"), timeout=300,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+        assert serial.returncode == 0, serial.stdout.decode()
+        by_key = {e["key"]: json.dumps(e["result"], sort_keys=True)
+                  for e in lines}
+        serial_by_key = {e["key"]: json.dumps(e["result"], sort_keys=True)
+                         for e in journal_lines(serial_journal)}
+        assert by_key == serial_by_key  # bit-identical to serial
+
+
+class TestJournalOwnershipCli:
+    def test_live_coordinator_contention_is_single_line_exit(
+            self, tmp_path, capsys):
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        journal.acquire(owner="live-coordinator")
+        try:
+            with pytest.raises(SystemExit) as error:
+                main(["sweep", "--fast", "-p", "1", "--grid", "10",
+                      "--workers", "1", "--journal", str(journal.path)])
+            message = str(error.value)
+            assert "owned by" in message
+            assert "\n" not in message
+        finally:
+            journal.release()
+
+    def test_stale_lock_of_dead_coordinator_broken_by_resume(
+            self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        dead = subprocess.Popen([sys.executable, "-c", "pass"])
+        dead.wait(timeout=30.0)
+        journal.lock_path.write_text(json.dumps(
+            {"owner": "crashed-coordinator", "pid": dead.pid}) + "\n")
+        code = main(["sweep", "--fast", "-p", "1", "--grid", "10",
+                     "--workers", "1", "--journal", str(journal.path),
+                     "--resume"])
+        assert code == 0
+        assert not journal.lock_path.exists()  # broken, then released
+        assert len(journal_lines(journal.path)) == 1
+
+
+class TestHostPortValidation:
+    def test_valid_values(self):
+        assert _parse_hostport("127.0.0.1:0", "--bind") == ("127.0.0.1", 0)
+        assert _parse_hostport("0.0.0.0:7461", "--bind") == ("0.0.0.0",
+                                                             7461)
+        assert _parse_hostport("[::1]:80", "--connect") == ("[::1]", 80)
+
+    @pytest.mark.parametrize("value", [
+        "localhost",        # no port
+        ":8080",            # no host
+        "host:",            # empty port
+        "host:abc",         # non-integer port
+        "host:70000",       # port above 65535
+        "host:-1",          # negative port
+    ])
+    def test_rejections_are_single_line(self, value):
+        with pytest.raises(SystemExit) as error:
+            _parse_hostport(value, "--bind")
+        message = str(error.value)
+        assert "--bind" in message
+        assert "\n" not in message
+
+    def test_bad_bind_flag_exits_before_sweeping(self, tmp_path):
+        with pytest.raises(SystemExit) as error:
+            main(["sweep", "--fast", "-p", "1", "--grid", "10",
+                  "--workers", "1", "--bind", "nonsense"])
+        assert "HOST:PORT" in str(error.value)
+
+    def test_missing_secret_file_exits_single_line(self, tmp_path):
+        with pytest.raises(SystemExit) as error:
+            main(["sweep", "--fast", "-p", "1", "--grid", "10",
+                  "--workers", "1",
+                  "--fabric-secret", str(tmp_path / "missing.txt")])
+        message = str(error.value)
+        assert "secret" in message
+        assert "\n" not in message

@@ -1,25 +1,36 @@
 #!/usr/bin/env python3
-"""CI fabric chaos smoke: a distributed sweep survives a SIGKILLed worker.
+"""CI fabric chaos smoke: distributed sweeps survive injected faults.
 
-Run by the ``fabric-chaos-smoke`` CI job (and runnable locally):
+Run by the ``fabric-chaos-smoke`` and ``fabric-partition-smoke`` CI
+jobs (and runnable locally):
 
     PYTHONPATH=src python tools/fabric_chaos_smoke.py --out /tmp/fabric
+    PYTHONPATH=src python tools/fabric_chaos_smoke.py \\
+        --scenario partition-replay --out /tmp/fabric
+    PYTHONPATH=src python tools/fabric_chaos_smoke.py \\
+        --scenario kill-resume --out /tmp/fabric
 
-The script computes a small serial golden sweep, then re-runs the same
-grid through :class:`repro.fabric.FabricCoordinator` across three stdio
-worker subprocesses while a :class:`FabricChaosPolicy` SIGKILLs the
-worker holding the first point's lease.  It asserts:
+Every scenario computes a small serial golden sweep first, then re-runs
+the same grid through the fabric under injected chaos and asserts the
+results are **byte-identical** to the golden, the degradation actually
+happened (a silently clean run would make the smoke vacuous), and the
+journal holds every point **exactly once**.  Scenarios:
 
-- the fabric results are **byte-identical** to the serial golden;
-- the degradation actually happened (``worker-lost`` plus
-  ``point-retry`` events) — a silently clean run would make the smoke
-  test vacuous;
-- the journal holds every point **exactly once** (the re-leased point
-  is deduplicated, not double-appended);
-- the fleet is fully reaped: every spawned worker process has exited.
+- ``kill`` (default) — three stdio workers, chaos SIGKILLs the worker
+  holding the first point's lease; the point is re-leased.
+- ``partition-replay`` — an authenticated fleet where one point's lease
+  is dropped by an asymmetric partition (heartbeats keep flowing, only
+  the lease timeout recovers it) and another point's signed result
+  frame is replayed (the stale-sequence copy is rejected, the sweep is
+  not).
+- ``kill-resume`` — a real ``repro sweep --workers 3 --bind`` CLI
+  coordinator with three external ``repro fabric-worker --connect``
+  processes is SIGKILLed after its first journal append, then
+  relaunched with ``--resume``; the workers reconnect and the final
+  journal is exactly-once.
 
-It then writes the per-worker degradation timeline (sweep report with
-fleet-health section), the raw event log, and the worker-health
+Each scenario writes the per-worker degradation timeline (sweep report
+with fleet-health section), the raw event log, and the worker-health
 snapshot into ``--out`` for upload as a CI artifact.  Exit status 0
 means every assertion held.
 """
@@ -28,7 +39,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
+import socket
+import subprocess
 import sys
+import time
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[1]
@@ -49,6 +65,10 @@ from repro.obs.sweep_report import build_sweep_report  # noqa: E402
 GRID = (10, 25)
 PROCESSORS = 1
 WORKERS = 3
+SECRET = "fabric-smoke-secret"
+
+FAST_POLICY = SupervisorPolicy(max_retries=3, base_backoff_s=0.01,
+                               max_backoff_s=0.05, tick_s=0.02)
 
 
 def canonical(results) -> str:
@@ -58,31 +78,65 @@ def canonical(results) -> str:
 
 def journal_keys(path: Path) -> list[str]:
     """Config keys in journal append order (duplicates included)."""
-    return [json.loads(line)["key"]
-            for line in path.read_text().splitlines() if line.strip()]
+    keys = []
+    if not path.exists():
+        return keys
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            keys.append(json.loads(line)["key"])
+        except (json.JSONDecodeError, KeyError):
+            continue  # torn tail mid-crash is expected and tolerated
+    return keys
 
 
-def main() -> int:
-    """Run the fabric chaos smoke; returns 0 when every assertion holds."""
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="/tmp/fabric-chaos-smoke",
-                        help="artifact directory (report + timelines)")
-    args = parser.parse_args()
-    out = Path(args.out)
-    out.mkdir(parents=True, exist_ok=True)
+def make_specs() -> list[RunSpec]:
+    return [RunSpec(warehouses=w, processors=PROCESSORS,
+                    settings=FAST_SETTINGS) for w in GRID]
 
-    print(f"[1/4] serial golden sweep: W={GRID} P={PROCESSORS}")
-    golden = sweep(GRID, PROCESSORS, settings=FAST_SETTINGS, use_cache=False)
-    golden_blob = canonical(golden)
 
-    specs = [RunSpec(warehouses=w, processors=PROCESSORS,
-                     settings=FAST_SETTINGS) for w in GRID]
+def write_timeline(out: Path, title: str, coordinator) -> None:
+    """Per-worker degradation timeline + raw events as CI artifacts."""
+    health = coordinator.worker_health()
+    report = build_sweep_report([], title=title,
+                                events=coordinator.events, workers=health)
+    (out / "fabric-report.md").write_text(report.to_markdown(),
+                                          encoding="utf-8")
+    (out / "events.json").write_text(
+        json.dumps(coordinator.events, indent=2, sort_keys=True),
+        encoding="utf-8")
+    (out / "worker-health.json").write_text(
+        json.dumps([vars(h) for h in health], indent=2, sort_keys=True,
+                   default=str),
+        encoding="utf-8")
+
+
+def check_common(failures: list, results, golden_blob: str,
+                 journal: Path, specs) -> None:
+    if canonical(results) != golden_blob:
+        failures.append("fabric results differ from serial golden")
+    keys = journal_keys(journal)
+    expected = sorted(spec.key() for spec in specs)
+    if sorted(keys) != expected:
+        failures.append(f"journal not exactly-once: {keys} vs {expected}")
+
+
+def check_reaped(failures: list, coordinator) -> None:
+    for runtime in coordinator._workers:
+        process = getattr(runtime.transport, "process", None)
+        if process is not None and process.poll() is None:
+            failures.append(f"worker {runtime.name} not reaped")
+
+
+def scenario_kill(out: Path, golden_blob: str) -> list[str]:
+    """Three stdio workers; chaos SIGKILLs the first point's holder."""
+    specs = make_specs()
     victim = specs[0].key()
     chaos = FabricChaosPolicy(seed=11, kill=1.0, attempts=1,
                               targets=(victim,))
     coordinator = FabricCoordinator(
-        policy=SupervisorPolicy(max_retries=3, base_backoff_s=0.01,
-                                max_backoff_s=0.05, tick_s=0.02),
+        policy=FAST_POLICY,
         fabric=FabricPolicy(workers=WORKERS, transport="stdio",
                             heartbeat_s=0.1, heartbeat_timeout_s=1.5,
                             tick_s=0.02),
@@ -96,48 +150,201 @@ def main() -> int:
                            coordinator=coordinator)
 
     print("[3/4] checking invariants")
-    failures = []
-    if canonical(results) != golden_blob:
-        failures.append("fabric results differ from serial golden")
+    failures: list[str] = []
+    check_common(failures, results, golden_blob, journal, specs)
     kinds = {event["event"] for event in coordinator.events}
     if "worker-lost" not in kinds:
         failures.append(f"no worker-lost event (saw {sorted(kinds)})")
     if "point-retry" not in kinds:
         failures.append(f"no point-retry event (saw {sorted(kinds)})")
-    keys = journal_keys(journal)
-    expected = sorted(spec.key() for spec in specs)
-    if sorted(keys) != expected:
-        failures.append(f"journal not exactly-once: {keys} vs {expected}")
     health = coordinator.worker_health()
     if [h.state for h in health].count("lost") != 1:
         failures.append(f"expected exactly one lost worker, got "
                         f"{[h.state for h in health]}")
-    for runtime in coordinator._workers:
-        process = getattr(runtime.transport, "process", None)
-        if process is not None and process.poll() is None:
-            failures.append(f"worker {runtime.name} not reaped")
+    check_reaped(failures, coordinator)
 
     print("[4/4] writing per-worker degradation timeline")
-    report = build_sweep_report(
-        [], title="Fabric chaos smoke — sweep under injected worker "
-        "SIGKILL", events=coordinator.events, workers=health)
-    (out / "fabric-report.md").write_text(report.to_markdown(),
-                                          encoding="utf-8")
-    (out / "events.json").write_text(
-        json.dumps(coordinator.events, indent=2, sort_keys=True),
-        encoding="utf-8")
-    (out / "worker-health.json").write_text(
-        json.dumps([vars(h) for h in health], indent=2, sort_keys=True,
-                   default=str),
-        encoding="utf-8")
+    write_timeline(out, "Fabric chaos smoke — sweep under injected "
+                   "worker SIGKILL", coordinator)
+    return failures
 
+
+def scenario_partition_replay(out: Path, golden_blob: str) -> list[str]:
+    """Authenticated fleet under an asymmetric partition + a replayed
+    signed result frame."""
+    specs = make_specs()
+    partitioned, replayed = specs[0].key(), specs[1].key()
+    chaos = FabricChaosPolicy(seed=13, partition=0.5, replay=0.5,
+                              attempts=1, targets=(partitioned, replayed))
+    # partition=replay=0.5 over two targeted keys may draw the same
+    # fault twice; pin one of each by checking the draws up front.
+    draws = {key: chaos.action(key, 0) for key in (partitioned, replayed)}
+    seed = 13
+    while set(draws.values()) != {"partition", "replay"}:
+        seed += 1
+        chaos = FabricChaosPolicy(seed=seed, partition=0.5, replay=0.5,
+                                  attempts=1,
+                                  targets=(partitioned, replayed))
+        draws = {key: chaos.action(key, 0)
+                 for key in (partitioned, replayed)}
+    coordinator = FabricCoordinator(
+        policy=FAST_POLICY,
+        fabric=FabricPolicy(workers=WORKERS, transport="tcp",
+                            heartbeat_s=0.1, heartbeat_timeout_s=1.5,
+                            tick_s=0.02, lease_timeout_s=0.5,
+                            secret=SECRET),
+        chaos=chaos, use_cache=False)
+
+    print(f"[2/4] authenticated fabric sweep (seed {seed}): partition "
+          f"drops one lease, replay re-sends one signed result")
+    journal = out / "journal.jsonl"
+    results = fabric_sweep(GRID, PROCESSORS, settings=FAST_SETTINGS,
+                           use_cache=False, journal=journal,
+                           coordinator=coordinator)
+
+    print("[3/4] checking invariants")
+    failures: list[str] = []
+    check_common(failures, results, golden_blob, journal, specs)
+    kinds = {event["event"] for event in coordinator.events}
+    if "lease-expired" not in kinds:
+        failures.append(f"no lease-expired event (saw {sorted(kinds)})")
+    if "worker-auth-rejected" not in kinds:
+        failures.append(
+            f"no worker-auth-rejected event (saw {sorted(kinds)})")
+    check_reaped(failures, coordinator)
+
+    print("[4/4] writing per-worker degradation timeline")
+    write_timeline(out, "Fabric partition smoke — authenticated sweep "
+                   "under partition + replayed frame", coordinator)
+    return failures
+
+
+def scenario_kill_resume(out: Path, golden_blob: str) -> list[str]:
+    """SIGKILL a real CLI coordinator mid-sweep; resume on the same
+    journal while external workers reconnect."""
+    specs = make_specs()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_CACHE_DIR"] = str(out / "cache")
+    env.pop("REPRO_FABRIC_SECRET", None)
+    secret_file = out / "secret.txt"
+    secret_file.write_text(SECRET + "\n")
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    journal = out / "journal.jsonl"
+    grid_text = ",".join(str(w) for w in GRID)
+    coordinator_cmd = [
+        sys.executable, "-m", "repro.cli", "sweep", "--fast",
+        "-p", str(PROCESSORS), "--grid", grid_text, "--workers", "3",
+        "--bind", f"127.0.0.1:{port}", "--journal", str(journal),
+        "--fabric-secret", str(secret_file)]
+
+    print(f"[2/4] CLI coordinator on 127.0.0.1:{port}, 3 external "
+          f"fabric-worker processes; SIGKILL after first append")
+    failures: list[str] = []
+    workers = []
+    worker_logs = []
+    try:
+        first = subprocess.Popen(coordinator_cmd, env=env,
+                                 stdout=subprocess.PIPE,
+                                 stderr=subprocess.STDOUT)
+        for index in range(3):
+            log = (out / f"worker-w{index}.log").open("wb")
+            worker_logs.append(log)
+            workers.append(subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "fabric-worker",
+                 "--connect", f"127.0.0.1:{port}",
+                 "--worker-id", f"w{index}",
+                 "--fabric-secret", str(secret_file),
+                 "--heartbeat", "0.1", "--max-reconnects", "20"],
+                env=env, stdout=log, stderr=subprocess.STDOUT))
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline and not journal_keys(journal):
+            if first.poll() is not None:
+                failures.append("coordinator exited before first append")
+                return failures
+            time.sleep(0.01)
+        if not journal_keys(journal):
+            failures.append("no journal append within 120s")
+            return failures
+        first.send_signal(signal.SIGKILL)
+        first.wait(timeout=30.0)
+        (out / "coordinator-first.log").write_bytes(first.stdout.read())
+
+        print("[3/4] resuming on the same journal; checking invariants")
+        second = subprocess.run(coordinator_cmd + ["--resume"], env=env,
+                                timeout=300, stdout=subprocess.PIPE,
+                                stderr=subprocess.STDOUT)
+        (out / "coordinator-resume.log").write_bytes(second.stdout)
+        if second.returncode != 0:
+            failures.append(f"resumed coordinator exited "
+                            f"{second.returncode}")
+        if b"local-fallback" in second.stdout:
+            failures.append("resumed sweep fell back to local execution "
+                            "(workers never reconnected)")
+    finally:
+        for process in workers:
+            try:
+                process.wait(timeout=15.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10.0)
+        for log in worker_logs:
+            log.close()
+
+    keys = journal_keys(journal)
+    expected = sorted(spec.key() for spec in specs)
+    if sorted(keys) != expected:
+        failures.append(f"journal not exactly-once after resume: "
+                        f"{keys} vs {expected}")
+    golden_by_key = {
+        spec.key(): json.dumps(result, sort_keys=True)
+        for spec, result in zip(specs, json.loads(golden_blob))}
+    for line in journal.read_text().splitlines():
+        if not line.strip():
+            continue
+        entry = json.loads(line)
+        if json.dumps(entry["result"],
+                      sort_keys=True) != golden_by_key.get(entry["key"]):
+            failures.append(f"journal payload for {entry['key']} differs "
+                            f"from serial golden")
+
+    print("[4/4] worker timelines in coordinator-*.log / worker-*.log")
+    return failures
+
+
+SCENARIOS = {
+    "kill": scenario_kill,
+    "partition-replay": scenario_partition_replay,
+    "kill-resume": scenario_kill_resume,
+}
+
+
+def main() -> int:
+    """Run one fabric chaos smoke scenario; 0 when every assertion holds."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="/tmp/fabric-chaos-smoke",
+                        help="artifact directory (report + timelines)")
+    parser.add_argument("--scenario", choices=sorted(SCENARIOS),
+                        default="kill",
+                        help="which fault script to run (default: kill)")
+    args = parser.parse_args()
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    print(f"[1/4] serial golden sweep: W={GRID} P={PROCESSORS}")
+    golden = sweep(GRID, PROCESSORS, settings=FAST_SETTINGS, use_cache=False)
+    golden_blob = canonical(golden)
+
+    failures = SCENARIOS[args.scenario](out, golden_blob)
     for failure in failures:
         print(f"FAIL: {failure}")
     if failures:
         return 1
-    print(f"fabric chaos smoke clean: {len(coordinator.events)} fabric "
-          f"event(s), journal exactly-once, results bit-identical to "
-          f"serial golden; artifacts in {out}")
+    print(f"fabric chaos smoke ({args.scenario}) clean: journal "
+          f"exactly-once, results bit-identical to serial golden; "
+          f"artifacts in {out}")
     return 0
 
 
